@@ -1,0 +1,59 @@
+"""Extra benches: the §I many-to-one motivation, and raw engine speed.
+
+The incast bench quantifies the receiver-management story (shared
+bucket vs per-client dedicated regions).  The engine bench tracks the
+simulator's own event throughput so regressions in the substrate are
+visible.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.motifs import Incast, RdmaProtocol, RvmaProtocol
+from repro.sim import Simulator
+
+
+def _run_incast(nic):
+    cl = Cluster.build(n_nodes=17, topology="dragonfly", nic_type=nic, fidelity="flow")
+    proto = RvmaProtocol() if nic == "rvma" else RdmaProtocol()
+    return Incast(cl, proto, msgs_per_client=4, msg_bytes=4096).run()
+
+
+@pytest.mark.benchmark(group="incast")
+def test_incast_many_to_one(benchmark):
+    rvma, rdma = benchmark.pedantic(
+        lambda: (_run_incast("rvma"), _run_incast("rdma")), rounds=1, iterations=1
+    )
+    print()
+    print(f"incast 16->1: rvma {rvma.elapsed:,.0f}ns (setup {rvma.setup_elapsed:,.0f}ns, "
+          f"{rvma.extras['server_regions']} regions) | "
+          f"rdma {rdma.elapsed:,.0f}ns (setup {rdma.setup_elapsed:,.0f}ns, "
+          f"{rdma.extras['server_regions']} regions)")
+    # Resource story: zero dedicated regions vs one per client.
+    assert rvma.extras["server_regions"] == 0
+    assert rdma.extras["server_regions"] == 16
+    # Per-client handshakes dominate RDMA setup.
+    assert rdma.setup_elapsed > 3 * rvma.setup_elapsed
+    # And the coordinated data path is slower end to end.
+    assert rdma.elapsed > rvma.elapsed
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_event_throughput(benchmark):
+    """Raw DES throughput: schedule+execute 100k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    executed = benchmark(run)
+    assert executed == 100_000

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Why adaptive routing breaks RDMA completion — and not RVMA (§IV-D).
+
+Three experiments on the same congested, adaptively routed fat-tree:
+
+1. RDMA with last-byte polling: the poller fires early and the
+   application reads a corrupted buffer.
+2. RDMA done correctly (write + ack fence + send/recv): correct, but
+   pays the extra round trips the paper's Fig 4 quantifies.
+3. RVMA: threshold completion is both correct *and* fast on the very
+   same reordering network.
+
+    python examples/adaptive_routing_study.py
+"""
+
+from repro import Cluster, CompletionMode, RvmaApi, VerbsEndpoint
+from repro.memory.buffer import HostBuffer
+from repro.memory.mwait import POLL
+from repro.network import MTU, NetworkConfig, RoutingMode
+from repro.rdma import client_request_region, server_serve_region
+from repro.sim import spawn
+from repro.units import fmt_time
+
+SIZE = MTU * 12
+
+
+def payload() -> bytes:
+    data = bytearray((i * 7 + 3) % 251 for i in range(SIZE))
+    data[-1] = 0xEE
+    return bytes(data)
+
+
+def congest(cluster) -> None:
+    """Background flows that load some up-paths (realistic traffic)."""
+    for src in range(1, 5):
+        cluster.fabric.send(src, 14, MTU * 8)
+
+
+def rdma_last_byte() -> None:
+    cluster = Cluster.build(
+        n_nodes=16, topology="fattree", nic_type="rdma", fidelity="packet",
+        net_config=NetworkConfig(routing=RoutingMode.ADAPTIVE),
+    )
+    v0, v1 = VerbsEndpoint(cluster.node(0)), VerbsEndpoint(cluster.node(15))
+    data = payload()
+    out = {}
+
+    def server():
+        landing, _ = yield from server_serve_region(v1, client=0)
+        yield v1.node.waiter.wait_for_byte(landing.addr + SIZE - 1, 0xEE, POLL)
+        out["t"] = cluster.sim.now
+        out["snapshot"] = landing.read(0, SIZE)
+
+    def client():
+        hs = yield from client_request_region(v0, server=15, size=SIZE)
+        congest(cluster)
+        out["t0"] = cluster.sim.now
+        op = yield from v0.rdma_write(
+            15, hs.region, SIZE, data, mode=RoutingMode.ADAPTIVE, signaled=False
+        )
+        yield op.done
+
+    spawn(cluster.sim, server(), "s")
+    spawn(cluster.sim, client(), "c")
+    cluster.sim.run()
+    bad = sum(1 for a, b in zip(out["snapshot"], data) if a != b)
+    print(f"1) RDMA last-byte poll  : 'complete' after "
+          f"{fmt_time(out['t'] - out['t0'])} — but {bad} bytes WRONG "
+          f"({'CORRUPTED' if bad else 'ok'})")
+
+
+def rdma_send_recv() -> float:
+    cluster = Cluster.build(
+        n_nodes=16, topology="fattree", nic_type="rdma", fidelity="packet",
+        net_config=NetworkConfig(routing=RoutingMode.ADAPTIVE),
+    )
+    v0, v1 = VerbsEndpoint(cluster.node(0)), VerbsEndpoint(cluster.node(15))
+    data = payload()
+    out = {}
+
+    def server():
+        landing, _ = yield from server_serve_region(v1, client=0)
+        ctl = HostBuffer.allocate(cluster.node(15).memory, 64)
+        yield from v1.post_recv(ctl, wr_id=1, tag=1)
+        yield from v1.wait_write_completion(
+            landing, CompletionMode.SEND_RECV, RoutingMode.ADAPTIVE, ctl, wr_id=1
+        )
+        out["t"] = cluster.sim.now
+        out["ok"] = landing.read(0, SIZE) == data
+
+    def client():
+        hs = yield from client_request_region(v0, server=15, size=SIZE)
+        congest(cluster)
+        out["t0"] = cluster.sim.now
+        yield from v0.write_with_completion(
+            15, hs.region, SIZE, data, mode=RoutingMode.ADAPTIVE, wr_id=1
+        )
+
+    spawn(cluster.sim, server(), "s")
+    spawn(cluster.sim, client(), "c")
+    cluster.sim.run()
+    lat = out["t"] - out["t0"]
+    print(f"2) RDMA + send/recv     : complete after {fmt_time(lat)} — "
+          f"data intact={out['ok']} (spec-compliant, but slow)")
+    return lat
+
+
+def rvma() -> float:
+    cluster = Cluster.build(
+        n_nodes=16, topology="fattree", nic_type="rvma", fidelity="packet",
+        net_config=NetworkConfig(routing=RoutingMode.ADAPTIVE),
+    )
+    api0, api1 = RvmaApi(cluster.node(0)), RvmaApi(cluster.node(15))
+    data = payload()
+    out = {}
+
+    def receiver():
+        win = yield from api1.init_window(0x7, epoch_threshold=SIZE)
+        yield from api1.post_buffer(win, size=SIZE)
+        info = yield from api1.wait_completion(win)
+        out["t"] = cluster.sim.now
+        out["ok"] = info.read_data() == data
+
+    def sender():
+        yield 2_000.0
+        congest(cluster)
+        out["t0"] = cluster.sim.now
+        op = yield from api0.put(15, 0x7, data=data)
+        yield op.local_done
+
+    spawn(cluster.sim, receiver(), "r")
+    spawn(cluster.sim, sender(), "s")
+    cluster.sim.run()
+    lat = out["t"] - out["t0"]
+    print(f"3) RVMA threshold       : complete after {fmt_time(lat)} — "
+          f"data intact={out['ok']} (correct AND fast)")
+    return lat
+
+
+def main() -> None:
+    print(f"48 KiB transfer over a congested adaptive fat-tree "
+          f"({SIZE // MTU} packets in flight):\n")
+    rdma_last_byte()
+    rdma_lat = rdma_send_recv()
+    rvma_lat = rvma()
+    print(f"\nRVMA is {rdma_lat / rvma_lat:.2f}x faster than correct RDMA "
+          f"on this network — with no corruption risk.")
+
+
+if __name__ == "__main__":
+    main()

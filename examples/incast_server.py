@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Many-to-one server: RVMA's receiver-managed resources (paper §I).
+
+N clients send requests to one server.  With RDMA the server must
+pre-negotiate and *dedicate* a registered region to every client for an
+unbounded time; with RVMA all clients target one mailbox whose bucket
+the server replenishes at its own pace.  This example quantifies both
+the time and the resource footprint.
+
+    python examples/incast_server.py [--clients N]
+"""
+
+import argparse
+
+from repro import Cluster, Incast, RdmaProtocol, RvmaProtocol
+from repro.motifs.incast import BUCKET_DEPTH
+from repro.units import fmt_time
+
+
+def run(nic: str, n_clients: int, msgs: int):
+    cluster = Cluster.build(
+        n_nodes=n_clients + 1, topology="dragonfly", nic_type=nic, fidelity="flow"
+    )
+    protocol = RvmaProtocol() if nic == "rvma" else RdmaProtocol()
+    motif = Incast(cluster, protocol, msgs_per_client=msgs, msg_bytes=4096)
+    result = motif.run()
+    retries = sum(
+        v for k, v in cluster.sim.stats.counters().items() if "put_retries" in k
+    )
+    return result, retries
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--msgs", type=int, default=4)
+    args = parser.parse_args()
+
+    print(f"{args.clients} clients x {args.msgs} messages of 4 KiB -> one server\n")
+    rvma, rvma_retries = run("rvma", args.clients, args.msgs)
+    rdma, _ = run("rdma", args.clients, args.msgs)
+
+    print("                         RVMA                RDMA")
+    print(f"setup time       {fmt_time(rvma.setup_elapsed):>12}  "
+          f"{fmt_time(rdma.setup_elapsed):>16}")
+    print(f"data phase       {fmt_time(rvma.elapsed):>12}  "
+          f"{fmt_time(rdma.elapsed):>16}")
+    print(f"server buffers   {rvma.extras['server_buffers']:>12}  "
+          f"{rdma.extras['server_buffers']:>16}")
+    print(f"registered MRs   {rvma.extras['server_regions']:>12}  "
+          f"{rdma.extras['server_regions']:>16}")
+    print()
+    print(f"RVMA serves {args.clients} clients from a shared bucket of "
+          f"{BUCKET_DEPTH} buffers;")
+    print(f"overflow puts were NACKed and retried {rvma_retries} times — "
+          f"the *receiver* stayed in control throughout.")
+    print(f"RDMA needed a dedicated region + handshake per client "
+          f"({rdma.extras['server_regions']} regions), "
+          f"{rdma.setup_elapsed / max(rvma.setup_elapsed, 1):.1f}x the setup time.")
+
+
+if __name__ == "__main__":
+    main()

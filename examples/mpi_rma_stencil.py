@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""MPI RMA over RVMA: a fence-synchronized 1-D stencil with rollback.
+
+Eight ranks run a ring stencil: every epoch each rank puts its halo
+cells into both neighbours' windows, fences (the fence's count exchange
+installs the hardware completion threshold — ``RVMA_Win_set_threshold``),
+and computes.  After epoch 3 the application detects a (simulated) data
+error and calls ``MPIX_Rewind`` to restore the previous epoch's window
+state — the paper's §IV-F flow on top of MPI (§IV-E).
+
+    python examples/mpi_rma_stencil.py
+"""
+
+from repro import Cluster
+from repro.mpi import MpiRma
+from repro.sim import spawn
+from repro.units import fmt_time
+
+N_RANKS = 8
+CELLS = 64  # bytes of state per rank window
+HALO = 8
+EPOCHS = 4
+
+
+def main() -> None:
+    cluster = Cluster.build(
+        n_nodes=N_RANKS, topology="dragonfly", nic_type="rvma", fidelity="flow"
+    )
+    rma = MpiRma(cluster, ring_depth=4)
+    log: list[str] = []
+
+    def rank_proc(rank: int):
+        win = yield from rma.win_allocate(rank, size=CELLS, win_id=1)
+        win.write_local(HALO, bytes([rank]) * (CELLS - 2 * HALO))
+        left, right = (rank - 1) % N_RANKS, (rank + 1) % N_RANKS
+        for epoch in range(EPOCHS):
+            # Halo exchange: my edge cells into the neighbours' windows.
+            edge = bytes([(rank + epoch) % 251 + 1]) * HALO
+            yield from win.put(left, data=edge, disp=CELLS - HALO)
+            yield from win.put(right, data=edge, disp=0)
+            yield from win.fence()
+            if rank == 0 and epoch == 2:
+                log.append(
+                    f"[{fmt_time(cluster.sim.now)}] rank 0: epoch {epoch} fenced; "
+                    f"halos = {win.read(0, 4).hex()}.. / ..{win.read(CELLS - 4, 4).hex()}"
+                )
+            yield 500.0  # "compute"
+        # --- simulated detection of a corrupted epoch on rank 0 --------
+        if rank == 0:
+            before = win.read(0, HALO)
+            restored_epoch = yield from win.rewind(1)
+            after = win.read(0, HALO)
+            log.append(
+                f"[{fmt_time(cluster.sim.now)}] rank 0: MPIX_Rewind -> epoch "
+                f"{restored_epoch}; left halo {before.hex()} -> {after.hex()}"
+            )
+        yield from rma.comm.barrier(win.comm)
+
+    procs = [spawn(cluster.sim, rank_proc(r), f"rank{r}") for r in range(N_RANKS)]
+    cluster.sim.run()
+    assert all(p.finished for p in procs)
+    for line in log:
+        print(line)
+    print(f"{N_RANKS} ranks, {EPOCHS} fenced epochs + rollback in "
+          f"{fmt_time(cluster.sim.now)} of simulated time")
+    print("fence completion used hardware thresholds installed at the fence "
+          "(RVMA_Win_set_threshold); no receiver polling, no address exchange.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Sockets over RVMA: a concurrent echo server (paper §IV-B in action).
+
+Three clients connect to one port with a TCP-like three-way handshake,
+stream ragged requests, and read echoed responses — all of it carried
+by Receiver-Managed RVMA windows with zero sockets-to-RDMA translation
+machinery: the listener mailbox absorbs hellos at the server's pace,
+each direction of each connection is one managed stream, and partial
+tails flush with ``RVMA_Win_inc_epoch``.
+
+    python examples/socket_echo_server.py
+"""
+
+from repro import Cluster, RvmaApi
+from repro.network import NetworkConfig, RoutingMode
+from repro.sim import spawn
+from repro.sockets import RvmaListener, connect
+from repro.units import fmt_time
+
+PORT = 7  # the echo service, naturally
+N_CLIENTS = 3
+CHUNK = 64
+
+
+def main() -> None:
+    cluster = Cluster.build(
+        n_nodes=N_CLIENTS + 1, topology="star", nic_type="rvma", fidelity="packet",
+        net_config=NetworkConfig(routing=RoutingMode.STATIC),
+    )
+    server_api = RvmaApi(cluster.node(0))
+
+    def server():
+        listener = yield from RvmaListener(
+            server_api, PORT, chunk_size=CHUNK, backlog=N_CLIENTS
+        ).listen()
+        print(f"[{fmt_time(cluster.sim.now)}] server: listening on port {PORT}")
+        for _ in range(N_CLIENTS):
+            conn = yield from listener.accept()
+            print(f"[{fmt_time(cluster.sim.now)}] server: accepted node "
+                  f"{conn.peer_node} (conn {conn.conn_id})")
+            request = yield from conn.recv(CHUNK)
+            yield from conn.send(request.upper())
+
+    def client(node: int):
+        yield 1_500.0 * node
+        api = RvmaApi(cluster.node(node))
+        conn = yield from connect(api, server_node=0, port=PORT, chunk_size=CHUNK)
+        message = f"hello from node {node}: the quick brown fox".encode()
+        yield from conn.send(message.ljust(CHUNK, b"."))
+        reply = yield from conn.recv(CHUNK)
+        print(f"[{fmt_time(cluster.sim.now)}] client {node}: "
+              f"{reply.rstrip(b'.').decode()}")
+        assert reply == message.ljust(CHUNK, b".").upper()
+
+    spawn(cluster.sim, server(), "server")
+    for n in range(1, N_CLIENTS + 1):
+        spawn(cluster.sim, client(n), f"client{n}")
+    cluster.sim.run()
+    print(f"{N_CLIENTS} connections served in {fmt_time(cluster.sim.now)} "
+          f"of simulated time — no registration, no rkeys, no per-client "
+          f"dedicated regions.")
+
+
+if __name__ == "__main__":
+    main()

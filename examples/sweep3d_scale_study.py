@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Sweep3D at scale: the Fig 7 study, parameterized.
+
+Runs the wavefront-sweep motif on a dragonfly across link rates and
+node counts, RVMA vs RDMA, and prints the speedup grid.  The paper ran
+8,192 nodes; pass ``--nodes 8192`` to match it (several minutes of
+wall time at flow fidelity).
+
+    python examples/sweep3d_scale_study.py [--nodes N]
+"""
+
+import argparse
+import time
+
+from repro import Cluster, RdmaProtocol, RvmaProtocol, Sweep3D
+from repro.network import LINK_RATES, NetworkConfig, RoutingMode
+from repro.units import fmt_time
+
+
+def run_once(n_nodes: int, rate: str, nic: str) -> float:
+    cluster = Cluster.build(
+        n_nodes=n_nodes,
+        topology="dragonfly",
+        nic_type=nic,
+        fidelity="flow",
+        net_config=NetworkConfig(link_bw=LINK_RATES[rate], routing=RoutingMode.ADAPTIVE),
+    )
+    protocol = RvmaProtocol() if nic == "rvma" else RdmaProtocol()
+    result = Sweep3D(cluster, protocol, kb=8, msg_bytes=2048, compute_ns=200.0).run()
+    return result.elapsed
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--nodes", type=int, default=64,
+                        help="ranks in the sweep (paper: 8192)")
+    parser.add_argument("--rates", nargs="+", default=["100Gbps", "400Gbps", "2Tbps"])
+    args = parser.parse_args()
+
+    print(f"Sweep3D on an adaptively routed dragonfly, {args.nodes} nodes")
+    print(f"{'link':>8}  {'rvma':>12}  {'rdma':>12}  {'speedup':>8}  wall")
+    speedups = []
+    for rate in args.rates:
+        t0 = time.time()
+        rvma_ns = run_once(args.nodes, rate, "rvma")
+        rdma_ns = run_once(args.nodes, rate, "rdma")
+        wall = time.time() - t0
+        speedup = rdma_ns / rvma_ns
+        speedups.append(speedup)
+        print(f"{rate:>8}  {fmt_time(rvma_ns):>12}  {fmt_time(rdma_ns):>12}  "
+              f"{speedup:7.2f}x  {wall:.1f}s")
+    print(f"\naverage speedup {sum(speedups) / len(speedups):.2f}x "
+          f"(paper: 3.56x average, 4.4x at 2 Tbps adaptive dragonfly)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — a full reproduction of "RVMA: Remote Virtual Memory Access"
+(Grant, Levenhagen, Dosanjh, Widener; IPDPS 2021).
+
+The package builds the paper's whole evaluation stack in Python: a
+deterministic discrete-event simulator (the SST stand-in), a network
+substrate with the paper's topologies and routing modes, byte-accurate
+host memory with Monitor/MWait and PCIe models, an RDMA baseline NIC +
+Verbs/UCX software layers, the proposed RVMA NIC + API, application
+motifs, fault injection, and drivers that regenerate every figure in
+the paper's evaluation (Figs 4-8).
+
+Quick start::
+
+    from repro import Cluster, RvmaApi
+    from repro.sim import spawn
+
+    cluster = Cluster.build(n_nodes=2, topology="star", nic_type="rvma",
+                            fidelity="packet")
+    api = RvmaApi(cluster.node(1))
+    # see examples/quickstart.py for the full two-process flow
+"""
+
+from ._version import __version__
+from .cluster import Cluster, Node
+from .collectives import TreeComm
+from .core import (
+    BufferMode,
+    EpochType,
+    RvmaApi,
+    RvmaApiError,
+    RvmaStatus,
+    StreamClient,
+    StreamServer,
+    Window,
+    execute,
+    mpix_rewind,
+)
+from .faults import FaultInjector
+from .motifs import AllreduceMotif, Halo3D, Incast, RdmaProtocol, RvmaProtocol, Sweep3D
+from .mpi import MpiRma, RankWindow, RewindUnsupportedError
+from .network import NetworkConfig, RoutingMode, make_topology
+from .rdma import CompletionMode, UcpEndpoint, VerbsEndpoint
+from .sockets import Connection, RvmaListener, connect
+from .sim import Simulator, spawn
+
+__all__ = [
+    "AllreduceMotif",
+    "BufferMode",
+    "Cluster",
+    "CompletionMode",
+    "Connection",
+    "EpochType",
+    "FaultInjector",
+    "Halo3D",
+    "Incast",
+    "MpiRma",
+    "NetworkConfig",
+    "Node",
+    "RankWindow",
+    "RdmaProtocol",
+    "RewindUnsupportedError",
+    "RoutingMode",
+    "RvmaApi",
+    "RvmaListener",
+    "RvmaApiError",
+    "RvmaProtocol",
+    "RvmaStatus",
+    "Simulator",
+    "StreamClient",
+    "StreamServer",
+    "Sweep3D",
+    "TreeComm",
+    "UcpEndpoint",
+    "VerbsEndpoint",
+    "Window",
+    "__version__",
+    "connect",
+    "execute",
+    "make_topology",
+    "mpix_rewind",
+    "spawn",
+]

@@ -1,0 +1,6 @@
+"""Cluster composition: nodes and the builder."""
+
+from .builder import FIDELITIES, Cluster
+from .node import Node
+
+__all__ = ["Cluster", "FIDELITIES", "Node"]

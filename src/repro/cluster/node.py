@@ -1,0 +1,46 @@
+"""A simulated node: memory + NIC + wakeup machinery."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..memory.memory import NodeMemory
+from ..memory.mwait import MemoryWaiter
+from ..nic.rdma import RdmaNic, RdmaNicConfig
+from ..nic.rvma import RvmaNic, RvmaNicConfig
+from ..network.fabric import BaseFabric
+from ..sim.engine import Simulator
+
+
+class Node:
+    """One endpoint of the simulated system.
+
+    A node owns its memory, exactly one NIC (RVMA or RDMA — experiments
+    compare whole systems, as the paper does), and a
+    :class:`~repro.memory.mwait.MemoryWaiter` for completion wakeups.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        fabric: BaseFabric,
+        nic_type: str = "rvma",
+        nic_config: Optional[Union[RvmaNicConfig, RdmaNicConfig]] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.memory = NodeMemory()
+        if nic_type == "rvma":
+            self.nic: Union[RvmaNic, RdmaNic] = RvmaNic(
+                sim, node_id, self.memory, fabric, nic_config
+            )
+        elif nic_type == "rdma":
+            self.nic = RdmaNic(sim, node_id, self.memory, fabric, nic_config)
+        else:
+            raise ValueError(f"unknown nic_type {nic_type!r} (rvma|rdma)")
+        self.nic_type = nic_type
+        self.waiter = MemoryWaiter(sim, self.memory)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.node_id} nic={self.nic_type}>"

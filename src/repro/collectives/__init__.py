@@ -1,0 +1,5 @@
+"""Collectives built from real channel traffic (barrier, allreduce, bcast)."""
+
+from .tree import TreeComm
+
+__all__ = ["TreeComm"]

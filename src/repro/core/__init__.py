@@ -1,0 +1,37 @@
+"""RVMA core: the paper's contribution as a user-facing API."""
+
+from ..nic.lut import BufferMode, EpochType, RetiredBuffer
+from .addressing import PID_SHIFT, RvmaAddress, resolve_destination
+from .api import RvmaApi, execute
+from .fault_tolerance import (
+    EpochJournal,
+    RewindResult,
+    latest_consistent_epoch,
+    mpix_rewind,
+)
+from .receiver_managed import StreamClient, StreamServer
+from .status import RvmaApiError, RvmaStatus
+from .window import CompletionInfo, PostedRecord, Window, alloc_notification_slot
+
+__all__ = [
+    "BufferMode",
+    "PID_SHIFT",
+    "RvmaAddress",
+    "resolve_destination",
+    "CompletionInfo",
+    "EpochJournal",
+    "EpochType",
+    "PostedRecord",
+    "RetiredBuffer",
+    "RewindResult",
+    "RvmaApi",
+    "RvmaApiError",
+    "RvmaStatus",
+    "StreamClient",
+    "StreamServer",
+    "Window",
+    "alloc_notification_slot",
+    "execute",
+    "latest_consistent_epoch",
+    "mpix_rewind",
+]

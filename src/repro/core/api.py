@@ -1,0 +1,263 @@
+"""The RVMA application programming interface (paper §III-C).
+
+Method-per-call mapping to the paper:
+
+=====================  =================================
+Paper                   This module
+=====================  =================================
+``RVMA_Init_window``    :meth:`RvmaApi.init_window`
+``RVMA_Post_buffer``    :meth:`RvmaApi.post_buffer`
+``RVMA_Close_Win``      :meth:`RvmaApi.close_win`
+``RVMA_Win_inc_epoch``  :meth:`RvmaApi.win_inc_epoch`
+``RVMA_Win_get_epoch``  :meth:`RvmaApi.win_get_epoch`
+``RVMA_Win_get_buf_ptrs`` :meth:`RvmaApi.win_get_buf_ptrs`
+``RVMA_Put``            :meth:`RvmaApi.put`
+(comprehensive spec)    :meth:`RvmaApi.get`, catch-all, rewind
+=====================  =================================
+
+All time-consuming calls are generator functions to be driven inside a
+:class:`repro.sim.process.SimProcess`::
+
+    def app(api, peer):
+        win = yield from api.init_window(0xBEEF, epoch_threshold=1024)
+        yield from api.post_buffer(win, size=1024)
+        ...
+
+``execute(sim, gen)`` runs one such generator to completion for tests
+and scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..memory.buffer import HostBuffer
+from ..memory.mwait import MWAIT, WakeupModel
+from ..nic.lut import BufferMode, EpochType, LutError, RetiredBuffer
+from ..nic.rvma import GetOp, PutOp, RvmaNic
+from ..network.routing import RoutingMode
+from ..sim.engine import Simulator
+from ..sim.process import SimProcess
+from .addressing import RvmaAddress, resolve_destination
+from .status import RvmaApiError, RvmaStatus
+from .window import CompletionInfo, PostedRecord, Window, alloc_notification_slot
+
+
+class RvmaApi:
+    """Per-node RVMA software endpoint.
+
+    Parameters
+    ----------
+    node:
+        A :class:`repro.cluster.node.Node` whose NIC is an RVMA NIC.
+    sw_overhead:
+        Host software time (ns) charged per API call, letting the
+        calibrated microbenchmarks model verbs/UCX-class library costs.
+    pid:
+        Process id of this endpoint on its node (paper §III-C NID/PID
+        addressing).  Non-zero PIDs carve a private slice of the node's
+        mailbox space, so co-located processes may reuse mailbox
+        numbers; initiators target them via :class:`RvmaAddress`.
+    """
+
+    def __init__(self, node, sw_overhead: float = 0.0, pid: int = 0) -> None:
+        if not isinstance(node.nic, RvmaNic):
+            raise TypeError("RvmaApi requires a node with an RVMA NIC")
+        self.node = node
+        self.nic: RvmaNic = node.nic
+        self.sim = node.sim
+        self.sw_overhead = sw_overhead
+        self.pid = pid
+        self.address = RvmaAddress(node.node_id, pid)
+        self._next_key = 0x5EED
+
+    def _own_mailbox(self, virtual_addr: int) -> int:
+        # PID 0 keeps the full 64-bit mailbox space (backwards
+        # compatible); non-zero PIDs live in their qualified slice.
+        return self.address.qualify(virtual_addr) if self.pid else virtual_addr
+
+    def _overhead(self):
+        if self.sw_overhead > 0:
+            yield self.sw_overhead
+
+    # ------------------------------------------------------------------ windows
+
+    def init_window(
+        self,
+        virtual_addr: int,
+        epoch_threshold: int,
+        epoch_type: EpochType = EpochType.EPOCH_BYTES,
+        mode: BufferMode = BufferMode.STEERED,
+    ) -> Generator:
+        """Create a window on *virtual_addr* (a mailbox, not a pointer)."""
+        if epoch_threshold <= 0:
+            raise RvmaApiError(RvmaStatus.ERR_INVALID, "epoch_threshold must be > 0")
+        yield from self._overhead()
+        virtual_addr = self._own_mailbox(virtual_addr)
+        res = yield self.nic.hw_init_window(virtual_addr, epoch_type, mode)
+        if isinstance(res, LutError):
+            raise RvmaApiError(RvmaStatus.ERR_NO_RESOURCES, str(res))
+        self._next_key += 1
+        return Window(
+            node=self.node,
+            virtual_addr=virtual_addr,
+            key=self._next_key,
+            epoch_threshold=epoch_threshold,
+            epoch_type=epoch_type,
+            mode=mode,
+        )
+
+    def post_buffer(
+        self,
+        win: Window,
+        size: Optional[int] = None,
+        buffer: Optional[HostBuffer] = None,
+        threshold: Optional[int] = None,
+    ) -> Generator:
+        """Attach a buffer to the window's bucket.
+
+        Pass either *size* (a fresh buffer is allocated) or an existing
+        *buffer*.  Returns the :class:`PostedRecord`, whose
+        ``notification_addr`` is the paper's ``notification_ptr``.
+        """
+        if (size is None) == (buffer is None):
+            raise RvmaApiError(RvmaStatus.ERR_INVALID, "pass exactly one of size/buffer")
+        if buffer is None:
+            buffer = HostBuffer.allocate(self.node.memory, int(size), label="rvma-buf")
+        thr = threshold if threshold is not None else win.epoch_threshold
+        if win.epoch_type is EpochType.EPOCH_BYTES and thr > buffer.size:
+            raise RvmaApiError(
+                RvmaStatus.ERR_INVALID,
+                f"byte threshold {thr} exceeds buffer size {buffer.size}",
+            )
+        yield from self._overhead()
+        notify, length_addr = alloc_notification_slot(self.node.memory)
+        res = yield self.nic.hw_post_buffer(
+            win.virtual_addr, buffer, thr, notify, length_addr
+        )
+        if isinstance(res, LutError):
+            raise RvmaApiError(RvmaStatus.ERR_NO_WINDOW, str(res))
+        record = PostedRecord(
+            buffer=buffer, posted=res, notification_addr=notify, length_addr=length_addr
+        )
+        win.posted.append(record)
+        return record
+
+    def close_win(self, win: Window) -> Generator:
+        """Close the window; further remote ops are discarded (and may NACK)."""
+        yield from self._overhead()
+        found = yield self.nic.hw_close(win.virtual_addr)
+        win.closed = True
+        return RvmaStatus.SUCCESS if found else RvmaStatus.ERR_NO_WINDOW
+
+    def win_inc_epoch(self, win: Window) -> Generator:
+        """Hand the active buffer to software before its threshold is met."""
+        yield from self._overhead()
+        record = yield self.nic.hw_inc_epoch(win.virtual_addr)
+        return RvmaStatus.SUCCESS if record is not None else RvmaStatus.ERR_NO_BUFFER
+
+    def win_get_epoch(self, win: Window) -> Generator:
+        """Current epoch (count of completed buffers) of the window."""
+        yield from self._overhead()
+        epoch = yield self.nic.hw_get_epoch(win.virtual_addr)
+        return int(epoch)
+
+    def win_get_buf_ptrs(self, win: Window, count: int) -> list[int]:
+        """Harvest up to *count* completed-buffer head pointers.
+
+        Pure host-memory reads (no simulated delay): exactly the cheap
+        polling loop the paper intends.  Returns valid pointers only.
+        """
+        out: list[int] = []
+        for record in win.posted:
+            if len(out) >= count:
+                break
+            value = self.node.memory.read_u64(record.notification_addr)
+            if value != 0:
+                out.append(value)
+        return out
+
+    # ------------------------------------------------------------------ transfers
+
+    def put(
+        self,
+        dst: int,
+        virtual_addr: int,
+        data: bytes = b"",
+        size: Optional[int] = None,
+        offset: int = 0,
+        mode: Optional[RoutingMode] = None,
+    ) -> Generator:
+        """Initiate a put; returns the :class:`PutOp` handle.
+
+        Note there is no rkey and no raw remote address: the initiator
+        needs only the target node and mailbox — RVMA's headline
+        usability win over RDMA's Figure-1 handshake.
+        """
+        nbytes = size if size is not None else len(data)
+        if nbytes < 0 or offset < 0:
+            raise RvmaApiError(RvmaStatus.ERR_INVALID, "negative size/offset")
+        yield from self._overhead()
+        dst_node, mailbox = resolve_destination(dst, virtual_addr)
+        return self.nic.hw_put(dst_node, mailbox, nbytes, data, offset, mode)
+
+    def get(
+        self,
+        dst: int,
+        virtual_addr: int,
+        length: int,
+        dest_buffer: Optional[HostBuffer] = None,
+        offset: int = 0,
+        mode: Optional[RoutingMode] = None,
+    ) -> Generator:
+        """Initiate a get from the target's active buffer; returns GetOp."""
+        if dest_buffer is None:
+            dest_buffer = HostBuffer.allocate(self.node.memory, length, label="rvma-get")
+        yield from self._overhead()
+        dst_node, mailbox = resolve_destination(dst, virtual_addr)
+        return self.nic.hw_get(dst_node, mailbox, length, dest_buffer, offset, mode)
+
+    # ------------------------------------------------------------------ completion
+
+    def wait_completion(self, win: Window, wakeup: WakeupModel = MWAIT) -> Generator:
+        """Block until the next posted buffer completes its epoch.
+
+        Waits on that buffer's own notification cache line (MWait by
+        default), then reads the (head, length) pair the NIC stored.
+        """
+        record = win.next_unconsumed()
+        head = yield self.node.waiter.wait_for_nonzero_u64(record.notification_addr, wakeup)
+        yield from self._overhead()  # library wrapper around the check
+        length = self.node.memory.read_u64(record.length_addr)
+        win.consumed += 1
+        return CompletionInfo(head_addr=int(head), length=int(length), record=record)
+
+    # ------------------------------------------------------------------ extensions
+
+    def set_catch_all(self, win: Window) -> Generator:
+        """Make *win*'s bucket the catch-all for unmatched mailboxes."""
+        yield from self._overhead()
+        ok = yield self.nic.hw_set_catch_all(win.virtual_addr)
+        return RvmaStatus.SUCCESS if ok else RvmaStatus.ERR_NO_WINDOW
+
+    def rewind(self, win: Window, epochs_back: int = 1) -> Generator:
+        """Fetch the buffer of a previous epoch (fault tolerance, §IV-F).
+
+        Returns the :class:`~repro.nic.lut.RetiredBuffer` or None.
+        """
+        yield from self._overhead()
+        record = yield self.nic.hw_rewind(win.virtual_addr, epochs_back)
+        return record
+
+
+def execute(sim: Simulator, gen: Generator, name: str = "api"):
+    """Drive one API generator to completion; returns its value.
+
+    Convenience for tests/examples: spawns a process and drains the
+    event loop.
+    """
+    proc = SimProcess(sim, gen, name)
+    sim.run()
+    if not proc.finished:
+        raise RuntimeError(f"process {name} deadlocked (pending events drained)")
+    return proc.result

@@ -1,0 +1,84 @@
+"""Hardware-level fault tolerance via multi-epoch rewind (paper §IV-F).
+
+RVMA retains retired (completed-epoch) buffers on the NIC, so after a
+failure the application can retrieve the address of the last *complete*
+communication epoch and roll back to it — the paper's proposed
+``MPIX_Rewind(MPI_Win)``.  The caveat the paper states applies here
+too: if the application overwrote a retired buffer, the rollback
+returns the modified bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..nic.lut import RetiredBuffer
+from .api import RvmaApi
+from .window import Window
+
+
+@dataclass
+class RewindResult:
+    """A recovered communication epoch."""
+
+    epoch: int
+    head_addr: int
+    length: int
+    data: bytes
+
+
+def mpix_rewind(api: RvmaApi, win: Window, epochs_back: int = 1) -> Generator:
+    """Return the window to a previously known state (paper §IV-F).
+
+    Generator (drive in a SimProcess): resolves to a
+    :class:`RewindResult` for the epoch ``epochs_back`` completions ago,
+    or ``None`` when the NIC no longer retains that epoch.
+    """
+    record: Optional[RetiredBuffer] = yield from api.rewind(win, epochs_back)
+    if record is None:
+        return None
+    data = api.node.memory.read(record.head_addr, record.length) if record.length else b""
+    return RewindResult(
+        epoch=record.epoch, head_addr=record.head_addr, length=record.length, data=data
+    )
+
+
+def latest_consistent_epoch(api: RvmaApi, win: Window) -> Generator:
+    """The newest epoch that completed in hardware (safe rollback point).
+
+    For a timestep code this is "the last completed timestep": the
+    in-progress epoch is by definition inconsistent after a failure.
+    """
+    epoch = yield from api.win_get_epoch(win)
+    return epoch - 1  # epochs are counted from 0; `epoch` is in progress
+
+
+class EpochJournal:
+    """Host-side journal mapping application steps to window epochs.
+
+    A thin recovery-bookkeeping layer a timestep simulation would keep:
+    ``commit(step, epoch)`` after each step; after a failure,
+    ``rollback_target(completed_epoch)`` names the last committed step
+    whose epoch completed in hardware.
+    """
+
+    def __init__(self) -> None:
+        self._steps: list[tuple[int, int]] = []  # (step, epoch at completion)
+
+    def commit(self, step: int, epoch: int) -> None:
+        """Record that *step* completed while the window was at *epoch*."""
+        if self._steps and step <= self._steps[-1][0]:
+            raise ValueError("steps must be committed in increasing order")
+        self._steps.append((step, epoch))
+
+    def rollback_target(self, completed_epoch: int) -> Optional[int]:
+        """Latest committed step whose epoch is <= *completed_epoch*."""
+        best = None
+        for step, epoch in self._steps:
+            if epoch <= completed_epoch:
+                best = step
+        return best
+
+    def __len__(self) -> int:
+        return len(self._steps)

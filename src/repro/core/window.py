@@ -1,0 +1,75 @@
+"""The RVMA window object (the paper's ``RVMA_win``).
+
+A window binds one mailbox virtual address on one node to a bucket of
+posted buffers plus their completion notification slots.  Notification
+slots are 16 bytes (head pointer + length), cache-line aligned so that
+both words land in one NIC store and one MWait wake (paper §III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.address import CACHE_LINE
+from ..memory.buffer import HostBuffer, PostedBuffer
+from ..nic.lut import BufferMode, EpochType
+
+
+@dataclass
+class PostedRecord:
+    """Software-side record of one posted buffer and its slots."""
+
+    buffer: HostBuffer
+    posted: PostedBuffer
+    notification_addr: int
+    length_addr: int
+
+
+@dataclass
+class CompletionInfo:
+    """What ``wait_completion`` returns: the completed buffer's identity."""
+
+    head_addr: int
+    length: int
+    record: PostedRecord
+
+    def read_data(self) -> bytes:
+        """Contents of the completed buffer (up to the reported length)."""
+        return self.record.buffer.memory.read(self.head_addr, self.length)
+
+
+@dataclass
+class Window:
+    """User handle for one RVMA mailbox on one node."""
+
+    node: "object"  # repro.cluster.node.Node (kept loose to avoid cycles)
+    virtual_addr: int
+    key: int
+    epoch_threshold: int
+    epoch_type: EpochType
+    mode: BufferMode = BufferMode.STEERED
+    posted: list[PostedRecord] = field(default_factory=list)
+    #: Number of completions already consumed via wait_completion.
+    consumed: int = 0
+    closed: bool = False
+
+    def next_unconsumed(self) -> PostedRecord:
+        """The oldest posted buffer not yet consumed by wait_completion."""
+        if self.consumed >= len(self.posted):
+            raise IndexError(
+                f"window {self.virtual_addr:#x}: no posted buffer left to wait on "
+                f"(posted={len(self.posted)}, consumed={self.consumed})"
+            )
+        return self.posted[self.consumed]
+
+    @property
+    def buffers_outstanding(self) -> int:
+        """Posted buffers not yet consumed by the application."""
+        return len(self.posted) - self.consumed
+
+
+def alloc_notification_slot(memory) -> tuple[int, int]:
+    """Allocate a zeroed cache-line slot; returns (notify_addr, length_addr)."""
+    alloc = memory.alloc(CACHE_LINE, align=CACHE_LINE, label="rvma-notify")
+    memory.write(alloc.base, b"\x00" * 16)
+    return alloc.base, alloc.base + 8

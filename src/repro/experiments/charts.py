@@ -1,0 +1,92 @@
+"""Terminal bar charts for experiment results.
+
+Keeps the figures *visible* without plotting dependencies: horizontal
+bars scaled to the terminal, one per configuration, with the paper's
+claimed values marked for side-by-side reading.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .report import ExperimentResult
+
+BAR_WIDTH = 44
+FULL, PARTIALS = "█", " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, vmax: float, width: int = BAR_WIDTH) -> str:
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    whole = int(cells)
+    rem = int((cells - whole) * 8)
+    return FULL * whole + (PARTIALS[rem] if rem else "")
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    unit: str = "",
+    reference: Optional[float] = None,
+    reference_label: str = "paper",
+) -> str:
+    """Render one horizontal bar per (label, value).
+
+    ``reference`` draws a marker column at the claimed value so measured
+    bars can be eyeballed against the paper.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must pair up")
+    if not values:
+        return title
+    vmax = max(list(values) + ([reference] if reference else []))
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    ref_col = int(min(1.0, (reference / vmax)) * BAR_WIDTH) if reference else None
+    for label, value in zip(labels, values):
+        bar = _bar(value, vmax)
+        if ref_col is not None:
+            padded = list(bar.ljust(BAR_WIDTH + 1))
+            if padded[ref_col] == " ":
+                padded[ref_col] = "┊"
+            bar = "".join(padded).rstrip()
+        lines.append(f"{label.rjust(label_w)}  {bar} {value:.2f}{unit}")
+    if reference is not None:
+        lines.append(f"{'':{label_w}}  ┊ = {reference_label} {reference:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def chart_for_result(result: ExperimentResult) -> str:
+    """Best-effort chart for a known experiment result shape."""
+    if result.name in ("fig4", "fig5"):
+        labels = [f"{row[0]}B" for row in result.rows]
+        values = [row[3] for row in result.rows]  # reduction_%
+        ref = result.paper_claims.get("max_reduction_pct")
+        return bar_chart(
+            labels, values, f"{result.title} — % latency reduction", "%",
+            reference=ref,
+        )
+    if result.name in ("fig7", "fig8"):
+        labels = [f"{row[0]}/{row[1]}/{row[2]}" for row in result.rows]
+        values = [row[5] for row in result.rows]  # speedup
+        ref = result.paper_claims.get("avg_speedup")
+        return bar_chart(
+            labels, values, f"{result.title} — RDMA/RVMA speedup", "x",
+            reference=ref, reference_label="paper avg",
+        )
+    if result.name == "fig6":
+        labels = [f"{row[0]}B" for row in result.rows]
+        values = [float(row[3]) for row in result.rows]  # static_N
+        return bar_chart(
+            labels, values, f"{result.title} — exchanges to amortize (static)", ""
+        )
+    # Generic fallback: last numeric column.
+    labels = [str(row[0]) for row in result.rows]
+    values = []
+    for row in result.rows:
+        nums = [c for c in row if isinstance(c, (int, float))]
+        values.append(float(nums[-1]) if nums else 0.0)
+    return bar_chart(labels, values, result.title)

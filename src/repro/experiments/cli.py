@@ -1,0 +1,119 @@
+"""Command-line driver: regenerate any paper figure or ablation.
+
+Usage::
+
+    rvma-experiments fig4
+    rvma-experiments fig7 --nodes 512
+    rvma-experiments all --nodes 64 --out results.md
+    rvma-experiments fig7 --paper-scale     # 8,192 nodes, slow
+
+Each command prints the regenerated table and the paper's headline
+claims next to the measured ones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from .ablations import (
+    run_ablation_completion,
+    run_ablation_lut,
+    run_ablation_pcie,
+    run_ablation_threshold,
+    run_ablation_write_imm,
+)
+from .charts import chart_for_result
+from .fault_recovery import run_fault_recovery
+from .fig45 import run_fig4, run_fig5
+from .fig6 import run_fig6
+from .motif_sweep import run_fig7, run_fig8
+from .report import ExperimentResult
+
+PAPER_NODES = 8192
+
+
+def _fig7_runner(args) -> ExperimentResult:
+    return run_fig7(n_nodes=args.nodes, jobs=args.jobs)
+
+
+def _fig8_runner(args) -> ExperimentResult:
+    return run_fig8(n_nodes=args.nodes, jobs=args.jobs)
+
+
+RUNNERS: dict[str, Callable] = {
+    "fig4": lambda args: run_fig4(),
+    "fig5": lambda args: run_fig5(),
+    "fig6": lambda args: run_fig6(),
+    "fig7": _fig7_runner,
+    "fig8": _fig8_runner,
+    "ablation-lut": lambda args: run_ablation_lut(),
+    "ablation-completion": lambda args: run_ablation_completion(),
+    "ablation-threshold": lambda args: run_ablation_threshold(),
+    "ablation-write-imm": lambda args: run_ablation_write_imm(),
+    "fault-recovery": lambda args: run_fault_recovery(),
+    "ablation-pcie": lambda args: run_ablation_pcie(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rvma-experiments",
+        description="Regenerate the RVMA paper's tables and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(RUNNERS) + ["all"],
+        help="which figure/ablation to regenerate",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=64,
+        help="node count for the motif sweeps (paper used 8192)",
+    )
+    parser.add_argument(
+        "--paper-scale", action="store_true",
+        help=f"run motif sweeps at the paper's {PAPER_NODES} nodes (slow)",
+    )
+    parser.add_argument("--out", type=str, default="", help="append markdown to this file")
+    parser.add_argument("--chart", action="store_true", help="render a terminal bar chart per result")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the motif grids (each cell is an independent simulation)",
+    )
+    args = parser.parse_args(argv)
+    if args.paper_scale:
+        args.nodes = PAPER_NODES
+
+    names = sorted(RUNNERS) if args.experiment == "all" else [args.experiment]
+    results: list[ExperimentResult] = []
+    for name in names:
+        t0 = time.time()
+        result = RUNNERS[name](args)
+        elapsed = time.time() - t0
+        print(result.to_text())
+        if args.chart:
+            print()
+            print(chart_for_result(result))
+        for key, value in result.summary.items():
+            claim = result.paper_claims.get(key)
+            note = f"   (paper: {claim})" if claim is not None else ""
+            print(f"  {key}: {value}{note}")
+        for key, claim in result.paper_claims.items():
+            if key not in result.summary:
+                print(f"  paper {key}: {claim}")
+        print(f"  [{name} regenerated in {elapsed:.1f}s]\n")
+        results.append(result)
+
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as fh:
+            for result in results:
+                fh.write(result.to_markdown())
+                fh.write("\n")
+        print(f"appended {len(results)} result table(s) to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Figures 4 and 5: RVMA vs RDMA one-way latency (Verbs and UCX).
+
+Regenerates the two latency-comparison series of the paper's §V-A:
+per message size, the completed-transfer latency of RVMA and of
+spec-compliant RDMA (write + ack fence + 1-byte send/recv), plus the
+headline "% latency reduction" each figure quotes.
+"""
+
+from __future__ import annotations
+
+from ..network.routing import RoutingMode
+from ..timing.calibration import (
+    FIG45_SIZES,
+    Testbed,
+    UCX_CX5_THUNDERX2,
+    VERBS_OPA_SKYLAKE,
+)
+from ..timing.microbench import latency_sweep
+from .report import ExperimentResult
+
+
+def _latency_figure(
+    name: str,
+    title: str,
+    testbed: Testbed,
+    interface: str,
+    paper_max_reduction: float,
+    sizes: list[int],
+    iterations: int,
+) -> ExperimentResult:
+    points = latency_sweep(
+        testbed, sizes, interface, RoutingMode.ADAPTIVE, iterations=iterations
+    )
+    rows = [
+        [p.size, round(p.rvma_ns), round(p.rdma_ns), p.reduction_pct, p.speedup]
+        for p in points
+    ]
+    best = max(points, key=lambda p: p.reduction_pct)
+    return ExperimentResult(
+        name=name,
+        title=title,
+        headers=["size_B", "rvma_ns", "rdma_ns", "reduction_%", "speedup_x"],
+        rows=rows,
+        summary={
+            "max_reduction_pct": best.reduction_pct,
+            "max_reduction_at_B": best.size,
+            "testbed": testbed.name,
+        },
+        paper_claims={"max_reduction_pct": paper_max_reduction},
+    )
+
+
+def run_fig4(sizes: list[int] | None = None, iterations: int = 6) -> ExperimentResult:
+    """Fig 4: RVMA vs RDMA latency over Verbs (OmniPath/Skylake model)."""
+    return _latency_figure(
+        "fig4",
+        "RVMA vs. RDMA Latency (Verbs) — adaptive-routing-compliant RDMA",
+        VERBS_OPA_SKYLAKE,
+        "verbs",
+        paper_max_reduction=65.8,
+        sizes=sizes or FIG45_SIZES,
+        iterations=iterations,
+    )
+
+
+def run_fig5(sizes: list[int] | None = None, iterations: int = 6) -> ExperimentResult:
+    """Fig 5: RVMA vs RDMA latency over UCX (CX-5/ThunderX2 model)."""
+    return _latency_figure(
+        "fig5",
+        "RVMA vs. RDMA Latency (UCX) — adaptive-routing-compliant RDMA",
+        UCX_CX5_THUNDERX2,
+        "ucx",
+        paper_max_reduction=45.8,
+        sizes=sizes or FIG45_SIZES,
+        iterations=iterations,
+    )

@@ -1,0 +1,228 @@
+"""Dependency-free SVG renderings of the regenerated figures.
+
+Produces real figure files (``docs/figures/figN.svg``) from
+:class:`~repro.experiments.report.ExperimentResult` objects using plain
+SVG string assembly — no matplotlib in an offline reproduction.
+Figs 4/5 render as log-x latency-reduction lines; Figs 7/8 as grouped
+speedup bars with the paper's claimed values as reference lines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+from xml.sax.saxutils import escape
+
+from .report import ExperimentResult
+
+WIDTH, HEIGHT = 860, 420
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 30, 46, 84
+PLOT_W = WIDTH - MARGIN_L - MARGIN_R
+PLOT_H = HEIGHT - MARGIN_T - MARGIN_B
+
+SERIES_COLORS = ("#2563eb", "#dc2626", "#059669", "#d97706")
+REF_COLOR = "#7c3aed"
+GRID = "#e5e7eb"
+INK = "#111827"
+
+
+def _svg_open(title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{WIDTH / 2}" y="24" text-anchor="middle" font-size="15" '
+        f'fill="{INK}" font-weight="bold">{escape(title)}</text>',
+    ]
+
+
+def _axis_labels(x_label: str, y_label: str) -> list[str]:
+    return [
+        f'<text x="{MARGIN_L + PLOT_W / 2}" y="{HEIGHT - 8}" text-anchor="middle" '
+        f'font-size="12" fill="{INK}">{escape(x_label)}</text>',
+        f'<text x="16" y="{MARGIN_T + PLOT_H / 2}" text-anchor="middle" font-size="12" '
+        f'fill="{INK}" transform="rotate(-90 16 {MARGIN_T + PLOT_H / 2})">'
+        f"{escape(y_label)}</text>",
+    ]
+
+
+def line_chart_logx(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str,
+    x_label: str,
+    y_label: str,
+    reference: Optional[float] = None,
+    reference_label: str = "paper",
+) -> str:
+    """Log-x line chart (the Fig 4/5 shape)."""
+    if not xs or not series:
+        raise ValueError("need data")
+    lo_x, hi_x = math.log2(min(xs)), math.log2(max(xs))
+    all_y = [y for ys in series.values() for y in ys] + (
+        [reference] if reference is not None else []
+    )
+    hi_y = max(all_y) * 1.1 or 1.0
+
+    def px(x: float) -> float:
+        return MARGIN_L + (math.log2(x) - lo_x) / max(hi_x - lo_x, 1e-9) * PLOT_W
+
+    def py(y: float) -> float:
+        return MARGIN_T + PLOT_H - y / hi_y * PLOT_H
+
+    out = _svg_open(title)
+    # Gridlines + y ticks.
+    for i in range(5):
+        y = hi_y * i / 4
+        out.append(
+            f'<line x1="{MARGIN_L}" y1="{py(y):.1f}" x2="{MARGIN_L + PLOT_W}" '
+            f'y2="{py(y):.1f}" stroke="{GRID}"/>'
+        )
+        out.append(
+            f'<text x="{MARGIN_L - 6}" y="{py(y) + 4:.1f}" text-anchor="end" '
+            f'font-size="10" fill="{INK}">{y:.0f}</text>'
+        )
+    # X ticks at powers of two.
+    for x in xs:
+        out.append(
+            f'<text x="{px(x):.1f}" y="{MARGIN_T + PLOT_H + 16}" text-anchor="middle" '
+            f'font-size="9" fill="{INK}" transform="rotate(45 {px(x):.1f} '
+            f'{MARGIN_T + PLOT_H + 16})">{_fmt_size(x)}</text>'
+        )
+    if reference is not None:
+        out.append(
+            f'<line x1="{MARGIN_L}" y1="{py(reference):.1f}" x2="{MARGIN_L + PLOT_W}" '
+            f'y2="{py(reference):.1f}" stroke="{REF_COLOR}" stroke-dasharray="6 4"/>'
+        )
+        out.append(
+            f'<text x="{MARGIN_L + PLOT_W - 4}" y="{py(reference) - 5:.1f}" '
+            f'text-anchor="end" font-size="11" fill="{REF_COLOR}">'
+            f"{escape(reference_label)} {reference:g}</text>"
+        )
+    for idx, (name, ys) in enumerate(series.items()):
+        color = SERIES_COLORS[idx % len(SERIES_COLORS)]
+        points = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in zip(xs, ys))
+        out.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in zip(xs, ys):
+            out.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.5" fill="{color}"/>'
+            )
+        out.append(
+            f'<text x="{MARGIN_L + 8 + idx * 140}" y="{MARGIN_T - 8}" font-size="11" '
+            f'fill="{color}">&#9632; {escape(name)}</text>'
+        )
+    out.extend(_axis_labels(x_label, y_label))
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str,
+    y_label: str,
+    reference: Optional[float] = None,
+    reference_label: str = "paper avg",
+) -> str:
+    """Vertical bar chart (the Fig 7/8 shape)."""
+    if not labels:
+        raise ValueError("need data")
+    hi_y = max(list(values) + ([reference] if reference else [])) * 1.1
+
+    def py(y: float) -> float:
+        return MARGIN_T + PLOT_H - y / hi_y * PLOT_H
+
+    slot = PLOT_W / len(labels)
+    bar_w = slot * 0.7
+    out = _svg_open(title)
+    for i in range(5):
+        y = hi_y * i / 4
+        out.append(
+            f'<line x1="{MARGIN_L}" y1="{py(y):.1f}" x2="{MARGIN_L + PLOT_W}" '
+            f'y2="{py(y):.1f}" stroke="{GRID}"/>'
+        )
+        out.append(
+            f'<text x="{MARGIN_L - 6}" y="{py(y) + 4:.1f}" text-anchor="end" '
+            f'font-size="10" fill="{INK}">{y:.1f}</text>'
+        )
+    for i, (label, value) in enumerate(zip(labels, values)):
+        x = MARGIN_L + i * slot + (slot - bar_w) / 2
+        color = SERIES_COLORS[i % 2]
+        out.append(
+            f'<rect x="{x:.1f}" y="{py(value):.1f}" width="{bar_w:.1f}" '
+            f'height="{MARGIN_T + PLOT_H - py(value):.1f}" fill="{color}" opacity="0.85"/>'
+        )
+        cx = x + bar_w / 2
+        out.append(
+            f'<text x="{cx:.1f}" y="{MARGIN_T + PLOT_H + 12}" text-anchor="end" '
+            f'font-size="8.5" fill="{INK}" transform="rotate(-45 {cx:.1f} '
+            f'{MARGIN_T + PLOT_H + 12})">{escape(label)}</text>'
+        )
+        out.append(
+            f'<text x="{cx:.1f}" y="{py(value) - 4:.1f}" text-anchor="middle" '
+            f'font-size="9" fill="{INK}">{value:.2f}</text>'
+        )
+    if reference is not None:
+        out.append(
+            f'<line x1="{MARGIN_L}" y1="{py(reference):.1f}" x2="{MARGIN_L + PLOT_W}" '
+            f'y2="{py(reference):.1f}" stroke="{REF_COLOR}" stroke-dasharray="6 4"/>'
+        )
+        out.append(
+            f'<text x="{MARGIN_L + PLOT_W - 4}" y="{py(reference) - 5:.1f}" '
+            f'text-anchor="end" font-size="11" fill="{REF_COLOR}">'
+            f"{escape(reference_label)} {reference:g}</text>"
+        )
+    out.extend(_axis_labels("", y_label))
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def _fmt_size(nbytes: float) -> str:
+    n = int(nbytes)
+    if n >= 1024:
+        return f"{n // 1024}KiB"
+    return f"{n}B"
+
+
+def svg_for_result(result: ExperimentResult) -> str:
+    """Best-effort SVG for a known experiment result shape."""
+    if result.name in ("fig4", "fig5"):
+        xs = [row[0] for row in result.rows]
+        return line_chart_logx(
+            xs,
+            {
+                "RVMA (ns)": [row[1] for row in result.rows],
+                "RDMA (ns)": [row[2] for row in result.rows],
+            },
+            result.title,
+            "message size",
+            "one-way latency (ns)",
+        )
+    if result.name in ("fig7", "fig8"):
+        labels = [f"{r[0]}/{r[1]}/{r[2]}" for r in result.rows]
+        values = [r[5] for r in result.rows]
+        return bar_chart(
+            labels, values, result.title, "RDMA/RVMA speedup (x)",
+            reference=result.paper_claims.get("avg_speedup"),
+        )
+    if result.name == "fig6":
+        xs = [row[0] for row in result.rows]
+        return line_chart_logx(
+            xs,
+            {
+                "static baseline": [float(r[3]) for r in result.rows],
+                "adaptive baseline": [float(r[5]) for r in result.rows],
+            },
+            result.title,
+            "message size",
+            "exchanges to amortize",
+        )
+    # Generic: last numeric column as bars.
+    labels = [str(r[0]) for r in result.rows]
+    values = []
+    for row in result.rows:
+        nums = [c for c in row if isinstance(c, (int, float))]
+        values.append(float(nums[-1]) if nums else 0.0)
+    return bar_chart(labels, values, result.title, "")

@@ -1,0 +1,5 @@
+"""Fault injection for the fault-tolerance demonstrations and tests."""
+
+from .injectors import FaultInjector, FaultLog
+
+__all__ = ["FaultInjector", "FaultLog"]

@@ -1,0 +1,112 @@
+"""Fault injection: node failures, message loss, payload corruption.
+
+These drive the §IV-F fault-tolerance demonstrations (mid-epoch sender
+death + ``rewind`` recovery) and the robustness tests.  Injection
+points: the NIC's ``failed`` flag (node death) and the fabric's
+``fault_filter`` hook (loss/corruption at delivery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..cluster.builder import Cluster
+from ..network.message import Delivery
+
+
+@dataclass
+class FaultLog:
+    """What the injector actually did (for test assertions)."""
+
+    node_failures: list[tuple[int, float]] = field(default_factory=list)
+    messages_dropped: int = 0
+    payloads_corrupted: int = 0
+
+
+class FaultInjector:
+    """Schedules and applies faults on a cluster."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.log = FaultLog()
+        self._drop_prob = 0.0
+        self._corrupt_prob = 0.0
+        self._selector: Optional[Callable[[Delivery], bool]] = None
+        self._dead_nodes: set[int] = set()
+
+    # --- node death ---------------------------------------------------------------
+
+    def fail_node_at(self, node_id: int, time: float) -> None:
+        """Kill *node_id* at the given simulated time.
+
+        Its NIC drops all subsequent traffic; in-flight messages it
+        already sent still arrive (they are on the wire).
+        """
+
+        def do() -> None:
+            self.cluster.node(node_id).nic.fail()
+            self._dead_nodes.add(node_id)
+            self.log.node_failures.append((node_id, self.sim.now))
+
+        self.sim.schedule_at(time, do)
+
+    def node_is_dead(self, node_id: int) -> bool:
+        """Whether *node_id* has been killed by this injector."""
+        return node_id in self._dead_nodes
+
+    # --- fabric-level faults --------------------------------------------------------
+
+    def drop_messages(
+        self, probability: float, selector: Optional[Callable[[Delivery], bool]] = None
+    ) -> None:
+        """Drop each delivery with the given probability (optionally only
+        those matching *selector*)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self._drop_prob = probability
+        self._selector = selector
+        self._install()
+
+    def corrupt_payloads(
+        self, probability: float, selector: Optional[Callable[[Delivery], bool]] = None
+    ) -> None:
+        """Flip the first payload byte of affected deliveries.
+
+        Corruption (unlike loss) is observable by application-level
+        checksums; used by the integrity tests.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self._corrupt_prob = probability
+        self._selector = selector
+        self._install()
+
+    def _install(self) -> None:
+        rng = self.sim.rng
+
+        def fault_filter(delivery: Delivery) -> bool:
+            if self._selector is not None and not self._selector(delivery):
+                return False
+            if self._drop_prob and rng.random("faults.drop") < self._drop_prob:
+                self.log.messages_dropped += 1
+                return True
+            if self._corrupt_prob and rng.random("faults.corrupt") < self._corrupt_prob:
+                self._corrupt(delivery)
+            return False
+
+        self.cluster.fabric.fault_filter = fault_filter
+
+    def _corrupt(self, delivery: Delivery) -> None:
+        target = delivery.packet if delivery.packet is not None else delivery.message
+        if target.data:
+            flipped = bytes([target.data[0] ^ 0xFF]) + target.data[1:]
+            target.data = flipped
+            self.log.payloads_corrupted += 1
+
+    def clear(self) -> None:
+        """Remove fabric-level fault hooks (node deaths are permanent)."""
+        self._drop_prob = 0.0
+        self._corrupt_prob = 0.0
+        self.cluster.fabric.fault_filter = None

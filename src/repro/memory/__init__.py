@@ -1,0 +1,58 @@
+"""Host-side memory substrate: byte-accurate memory, buffers, MWait, PCIe."""
+
+from .address import (
+    CACHE_LINE,
+    RVMA_ADDR_BITS,
+    RVMA_ADDR_MASK,
+    align_down,
+    align_up,
+    cache_line_of,
+    is_aligned,
+    same_cache_line,
+)
+from .buffer import HostBuffer, MemoryRegion, PostedBuffer
+from .memory import Allocation, MemoryFault, NodeMemory
+from .mwait import (
+    CQ_POLL,
+    CQ_POLL_OVERHEAD_NS,
+    MWAIT,
+    MWAIT_WAKE_NS,
+    POLL,
+    POLL_INTERVAL_NS,
+    MemoryWaiter,
+    WakeupModel,
+)
+from .pcie import GEN3, GEN4, GEN5, GEN6, GENERATIONS, PAPER_SIM, PcieBus, PcieGen
+
+__all__ = [
+    "Allocation",
+    "CACHE_LINE",
+    "CQ_POLL",
+    "CQ_POLL_OVERHEAD_NS",
+    "GEN3",
+    "GEN4",
+    "GEN5",
+    "GEN6",
+    "GENERATIONS",
+    "HostBuffer",
+    "MemoryFault",
+    "MemoryRegion",
+    "MemoryWaiter",
+    "MWAIT",
+    "MWAIT_WAKE_NS",
+    "NodeMemory",
+    "PAPER_SIM",
+    "PcieBus",
+    "PcieGen",
+    "POLL",
+    "POLL_INTERVAL_NS",
+    "PostedBuffer",
+    "RVMA_ADDR_BITS",
+    "RVMA_ADDR_MASK",
+    "WakeupModel",
+    "align_down",
+    "align_up",
+    "cache_line_of",
+    "is_aligned",
+    "same_cache_line",
+]

@@ -1,0 +1,40 @@
+"""Address arithmetic helpers for the host memory model."""
+
+from __future__ import annotations
+
+#: Host cache line size in bytes.  Completion pointers are cache-line
+#: aligned (paper §III-A) so a Monitor/MWait armed on the line wakes on
+#: exactly the NIC's completion write.
+CACHE_LINE = 64
+
+#: Width of the RVMA virtual (mailbox) address space.  The paper assumes
+#: 64-bit mailbox addresses — the same width RDMA needs for raw pointers.
+RVMA_ADDR_BITS = 64
+RVMA_ADDR_MASK = (1 << RVMA_ADDR_BITS) - 1
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Smallest address >= *addr* that is a multiple of *alignment*."""
+    if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+        raise ValueError(f"alignment must be a positive power of two, got {alignment}")
+    return (addr + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(addr: int, alignment: int) -> int:
+    """Largest address <= *addr* that is a multiple of *alignment*."""
+    if alignment <= 0 or (alignment & (alignment - 1)) != 0:
+        raise ValueError(f"alignment must be a positive power of two, got {alignment}")
+    return addr & ~(alignment - 1)
+
+
+def is_aligned(addr: int, alignment: int) -> bool:
+    return addr == align_down(addr, alignment)
+
+
+def cache_line_of(addr: int) -> int:
+    """Base address of the cache line containing *addr*."""
+    return align_down(addr, CACHE_LINE)
+
+
+def same_cache_line(a: int, b: int) -> bool:
+    return cache_line_of(a) == cache_line_of(b)

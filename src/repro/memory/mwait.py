@@ -1,0 +1,121 @@
+"""Monitor/MWait and polling wakeup models (paper §IV-C).
+
+RVMA's completion pointer is a single, caller-known cache line, so a
+thread can arm Monitor/MWait on it and wake within ~a clock cycle of
+the NIC's completion store.  Polling achieves similar latency at higher
+energy, paying on average half the poll interval.  A shared completion
+queue (the RDMA baseline) additionally pays a queue-poll overhead per
+inspection because entries must be demultiplexed.
+
+These waiters return :class:`repro.sim.process.Future` objects so motif
+and microbenchmark processes can ``yield`` on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import Simulator
+from ..sim.process import Future
+from .address import CACHE_LINE, cache_line_of
+from .memory import NodeMemory
+
+#: Wakeup latency for Monitor/MWait: one to several clock cycles
+#: (paper §II); 2 GHz cycle ~ 0.5 ns, we charge 2 ns.
+MWAIT_WAKE_NS = 2.0
+#: Default busy-poll loop interval on a cached line (L1 hit + compare).
+POLL_INTERVAL_NS = 4.0
+#: Extra per-inspection cost of demultiplexing a shared completion queue.
+CQ_POLL_OVERHEAD_NS = 30.0
+
+
+@dataclass(frozen=True)
+class WakeupModel:
+    """How a host thread learns that a memory word changed."""
+
+    name: str
+    #: Fixed latency from the triggering store to the thread running again.
+    wake_latency: float
+    #: Mean waiting overhead added by the mechanism while idle (0 for MWait).
+    poll_interval: float = 0.0
+
+    def delay_after_store(self) -> float:
+        """Expected ns between the NIC's store and the thread observing it."""
+        return self.wake_latency + self.poll_interval / 2.0
+
+
+MWAIT = WakeupModel("mwait", MWAIT_WAKE_NS)
+POLL = WakeupModel("poll", 0.0, POLL_INTERVAL_NS)
+CQ_POLL = WakeupModel("cq_poll", CQ_POLL_OVERHEAD_NS, POLL_INTERVAL_NS)
+
+
+class MemoryWaiter:
+    """Arms wakeups on cache lines of a :class:`NodeMemory`.
+
+    ``wait_for_write`` resolves its future one ``delay_after_store()``
+    after the first store that touches the watched cache line.
+    """
+
+    def __init__(self, sim: Simulator, memory: NodeMemory) -> None:
+        self.sim = sim
+        self.memory = memory
+
+    def wait_for_write(self, addr: int, model: WakeupModel = MWAIT) -> Future:
+        """Future resolving with the store's address once the line is written."""
+        fut = Future(self.sim)
+        line = cache_line_of(addr)
+        token_box: list = []
+
+        def on_write(w_addr: int, _data: bytes) -> None:
+            self.memory.remove_watchpoint(token_box[0])
+            self.sim.schedule(model.delay_after_store(), fut.resolve, w_addr)
+
+        token_box.append(self.memory.add_watchpoint(line, CACHE_LINE, on_write))
+        return fut
+
+    def wait_for_byte(self, addr: int, expected: int, model: WakeupModel = POLL) -> Future:
+        """Future resolving once the byte at *addr* equals *expected*.
+
+        This is the last-byte polling idiom statically routed RDMA uses
+        for completion: the sender encodes a per-iteration sentinel in
+        the final byte and the receiver spins on it.
+        """
+        fut = Future(self.sim)
+        if self.memory.read(addr, 1)[0] == expected:
+            self.sim.schedule(model.delay_after_store(), fut.resolve, expected)
+            return fut
+        line = cache_line_of(addr)
+        token_box: list = []
+
+        def on_write(_w_addr: int, _data: bytes) -> None:
+            if self.memory.read(addr, 1)[0] != expected:
+                return
+            self.memory.remove_watchpoint(token_box[0])
+            self.sim.schedule(model.delay_after_store(), fut.resolve, expected)
+
+        token_box.append(self.memory.add_watchpoint(line, CACHE_LINE, on_write))
+        return fut
+
+    def wait_for_nonzero_u64(self, addr: int, model: WakeupModel = MWAIT) -> Future:
+        """Future resolving with the u64 at *addr* once it becomes non-zero.
+
+        This is exactly how an application waits on an RVMA completion
+        pointer: the NIC stores the completed buffer's head address
+        (never zero) into the notification word.
+        """
+        fut = Future(self.sim)
+        if self.memory.read_u64(addr) != 0:
+            self.sim.schedule(model.delay_after_store(), fut.resolve, self.memory.read_u64(addr))
+            return fut
+        line = cache_line_of(addr)
+        token_box: list = []
+
+        def on_write(_w_addr: int, _data: bytes) -> None:
+            value = self.memory.read_u64(addr)
+            if value == 0:
+                return  # unrelated store to the same line
+            self.memory.remove_watchpoint(token_box[0])
+            self.sim.schedule(model.delay_after_store(), fut.resolve, value)
+
+        token_box.append(self.memory.add_watchpoint(line, CACHE_LINE, on_write))
+        return fut

@@ -1,0 +1,40 @@
+"""Application motifs (paper §V-B1) and the protocol adapters they run on."""
+
+from .allreduce import AllreduceMotif
+from .base import Motif, MotifResult, SimBarrier
+from .halo3d import FACES, Halo3D, face_tag
+from .incast import BUCKET_DEPTH, Incast
+from .randompairs import RandomPairs, assign_targets
+from .sweep3d import OCTANT_DIRS, Sweep3D
+from .transfer import (
+    READY_BYTES,
+    RdmaProtocol,
+    RecvEndpoint,
+    RvmaProtocol,
+    SendEndpoint,
+    TransferProtocol,
+    mailbox_for,
+)
+
+__all__ = [
+    "AllreduceMotif",
+    "BUCKET_DEPTH",
+    "FACES",
+    "Halo3D",
+    "Incast",
+    "Motif",
+    "MotifResult",
+    "OCTANT_DIRS",
+    "RandomPairs",
+    "READY_BYTES",
+    "RdmaProtocol",
+    "RecvEndpoint",
+    "RvmaProtocol",
+    "SendEndpoint",
+    "SimBarrier",
+    "Sweep3D",
+    "TransferProtocol",
+    "assign_targets",
+    "face_tag",
+    "mailbox_for",
+]

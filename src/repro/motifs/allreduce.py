@@ -1,0 +1,60 @@
+"""Allreduce motif: iterative tree reductions (extension experiment).
+
+Not in the paper's evaluation, but a canonical SST-class motif and a
+natural stress for the protocols' small-message path: every iteration
+is a full reduce+broadcast of a small vector, so the critical path is
+2·log2(n) latency-bound exchanges — between Sweep3D (long serial
+chains) and Halo3D (parallel bulky faces) in character.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..cluster.builder import Cluster
+from .base import Motif
+from .transfer import TransferProtocol
+
+
+class AllreduceMotif(Motif):
+    """Repeated small-vector allreduces over the whole cluster."""
+
+    name = "allreduce"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        protocol: TransferProtocol,
+        iterations: int = 10,
+        vector_len: int = 8,
+        compute_ns: float = 500.0,
+    ) -> None:
+        super().__init__(cluster, protocol)
+        self.iterations = iterations
+        self.vector_len = vector_len
+        self.compute_ns = compute_ns
+        # Imported here: collectives build on the transfer adapters, so a
+        # module-level import would be circular via the package __init__.
+        from ..collectives.tree import TreeComm
+
+        self.comm = TreeComm(cluster, protocol, vector_slots=vector_len)
+        self.reduced: dict[int, list[int]] = {}
+
+    def setup_rank(self, rank: int) -> Generator:
+        state = yield from self.comm.setup(rank)
+        return state
+
+    def run_rank(self, rank: int, state) -> Generator:
+        values = [rank + i for i in range(self.vector_len)]
+        for _ in range(self.iterations):
+            totals = yield from self.comm.allreduce_sum(state, values)
+            self.count_send(8 * self.vector_len)
+            if self.compute_ns > 0:
+                yield self.compute_ns
+            values = [t % (2**32) for t in totals]  # feed results forward
+        self.reduced[rank] = values
+
+    def verify(self) -> bool:
+        """All ranks converged to identical vectors."""
+        vectors = list(self.reduced.values())
+        return bool(vectors) and all(v == vectors[0] for v in vectors)

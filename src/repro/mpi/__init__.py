@@ -1,0 +1,17 @@
+"""MPI RMA veneer over RVMA/RDMA (paper SS IV-E/F in practice)."""
+
+from .rma import (
+    MEMCPY_BPNS,
+    MpiRma,
+    RankWindow,
+    RewindUnsupportedError,
+    win_mailbox,
+)
+
+__all__ = [
+    "MEMCPY_BPNS",
+    "MpiRma",
+    "RankWindow",
+    "RewindUnsupportedError",
+    "win_mailbox",
+]

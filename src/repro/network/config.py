@@ -1,0 +1,54 @@
+"""Network configuration shared by both fabric fidelities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import gbps
+from .routing import RoutingMode
+
+#: Link rates swept in Figs 7-8 (bytes/ns).
+LINK_RATES = {
+    "100Gbps": gbps(100),
+    "200Gbps": gbps(200),
+    "400Gbps": gbps(400),
+    "2Tbps": gbps(2000),
+}
+
+
+@dataclass
+class NetworkConfig:
+    """Knobs for a simulated fabric.
+
+    Defaults follow the paper's simulation setup (§V-B): crossbar
+    bandwidth 1.5x the link rate, host bus never the bottleneck, high
+    packet update fidelity.
+    """
+
+    #: Link bandwidth in bytes/ns (100 Gbps default).
+    link_bw: float = gbps(100)
+    #: Switch-to-switch cable propagation latency, ns.
+    hop_latency: float = 40.0
+    #: NIC-to-switch (and switch-to-NIC) cable latency, ns.
+    injection_latency: float = 15.0
+    #: Per-switch pipeline (port-to-port) latency, ns.
+    switch_latency: float = 100.0
+    #: Crossbar speedup over the link rate (paper: 1.5x).
+    crossbar_factor: float = 1.5
+    #: Default path-selection policy.
+    routing: RoutingMode = RoutingMode.ADAPTIVE
+
+    def __post_init__(self) -> None:
+        if self.link_bw <= 0:
+            raise ValueError("link_bw must be positive")
+        if self.crossbar_factor < 1.0:
+            raise ValueError("crossbar_factor must be >= 1 (paper uses 1.5)")
+
+    @property
+    def crossbar_bw(self) -> float:
+        return self.link_bw * self.crossbar_factor
+
+    def with_(self, **kw) -> "NetworkConfig":
+        """Copy with overrides (sweeps build variants from one base)."""
+        data = self.__dict__ | kw
+        return NetworkConfig(**data)

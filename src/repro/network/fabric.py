@@ -1,0 +1,283 @@
+"""Fabric base: channel bookkeeping shared by both fidelities.
+
+A *channel* is one direction of one cable: node->switch (injection),
+switch->switch, or switch->node (ejection).  Fabrics track per-channel
+``free_at`` horizons; the flow fabric reserves channels per message,
+the packet fabric per packet via real switch components.
+
+Both fabrics present the same interface to NICs::
+
+    fabric.attach(node_id, handler)          # handler(Delivery)
+    fabric.send(src, dst, size, header=..., data=..., mode=...)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..sim.component import Component
+from ..sim.engine import Simulator
+from .config import NetworkConfig
+from .message import Delivery, DeliveryInfo, Message
+from .routing import PathChoice, RoutingMode, choose_path
+from .topology.base import Topology
+
+DeliveryHandler = Callable[[Delivery], None]
+
+
+class BaseFabric(Component):
+    """Shared structure: channel tables, path selection, endpoint handlers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: Optional[NetworkConfig] = None,
+        name: str = "fabric",
+    ) -> None:
+        super().__init__(sim, name)
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self._handlers: dict[int, DeliveryHandler] = {}
+
+        # Channel index space: [injection per node][ejection per node][switch links]
+        n = topology.n_nodes
+        self._inj_base = 0
+        self._eje_base = n
+        self._link_base = 2 * n
+        self._link_index: dict[tuple[int, int], int] = {}
+        idx = self._link_base
+        for (u, v) in topology.links():
+            self._link_index[(u, v)] = idx
+            idx += 1
+        self.n_channels = idx
+        self.free_at = [0.0] * self.n_channels
+        self.channel_bytes = [0] * self.n_channels
+        #: per-channel crossing latency, precomputed (hot path).
+        self._chan_latency = [self.channel_latency(ch) for ch in range(idx)]
+        #: (src, dst) -> (static_chans, static_hops, ((chans, penalty, hops), ...))
+        #: — topology routes are immutable, so cache them per pair.
+        self._route_cache: dict[tuple[int, int], tuple] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        #: Optional fault hook: called with each Delivery just before it
+        #: reaches the destination handler; returning True drops it.
+        self.fault_filter = None
+        self.deliveries_dropped = 0
+
+    # --- endpoints ---------------------------------------------------------------
+
+    def attach(self, node_id: int, handler: DeliveryHandler) -> None:
+        """Register *handler* to receive Deliveries addressed to *node_id*."""
+        self.topology.check_node(node_id)
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id} already attached")
+        self._handlers[node_id] = handler
+
+    def _deliver(self, node_id: int, delivery: Delivery) -> None:
+        if self.fault_filter is not None and self.fault_filter(delivery):
+            self.deliveries_dropped += 1
+            return
+        handler = self._handlers.get(node_id)
+        if handler is None:
+            raise RuntimeError(f"no handler attached for node {node_id}")
+        handler(delivery)
+
+    # --- channels ----------------------------------------------------------------
+
+    def injection_channel(self, node: int) -> int:
+        """Channel index of *node*'s NIC->switch cable."""
+        return self._inj_base + node
+
+    def ejection_channel(self, node: int) -> int:
+        """Channel index of the switch->NIC cable into *node*."""
+        return self._eje_base + node
+
+    def link_channel(self, u: int, v: int) -> int:
+        """Channel index of the directed switch link u->v."""
+        return self._link_index[(u, v)]
+
+    def channels_for(self, path_switches: list[int], src: int, dst: int) -> list[int]:
+        """Full channel sequence for a switch path between two nodes."""
+        chans = [self.injection_channel(src)]
+        for u, v in zip(path_switches, path_switches[1:]):
+            chans.append(self.link_channel(u, v))
+        chans.append(self.ejection_channel(dst))
+        return chans
+
+    def injection_busy_until(self, node: int) -> float:
+        """When the node's injection channel finishes its queued traffic."""
+        return self.free_at[self.injection_channel(node)]
+
+    def channel_label(self, ch: int) -> str:
+        """Human-readable name for a channel index."""
+        if ch < self._eje_base:
+            return f"inject[node{ch - self._inj_base}]"
+        if ch < self._link_base:
+            return f"eject[node{ch - self._eje_base}]"
+        for (u, v), idx in self._link_index.items():
+            if idx == ch:
+                return f"link[sw{u}->sw{v}]"
+        return f"chan[{ch}]"
+
+    def hottest_channels(self, k: int = 10) -> list[tuple[str, int]]:
+        """Top-*k* channels by bytes carried — congestion diagnostics
+        for experiments (e.g. spotting the D-mod-k core hotspot)."""
+        ranked = sorted(
+            range(self.n_channels), key=lambda ch: self.channel_bytes[ch], reverse=True
+        )[:k]
+        return [(self.channel_label(ch), self.channel_bytes[ch]) for ch in ranked]
+
+    def channel_latency(self, ch: int) -> float:
+        """Latency charged as traffic crosses into this channel.
+
+        Injection: NIC-to-switch cable plus the first switch's pipeline;
+        switch links: cable plus the downstream switch's pipeline;
+        ejection: switch-to-NIC cable only.  This matches the packet
+        fabric, where Switch components charge their own pipeline.
+        """
+        if ch < self._eje_base:
+            return self.config.injection_latency + self.config.switch_latency
+        if ch < self._link_base:
+            return self.config.injection_latency
+        return self.config.hop_latency + self.config.switch_latency
+
+    # --- routing ----------------------------------------------------------------
+
+    def _path_backlog(self, path_switches: list[int], src: int, dst: int) -> float:
+        """UGAL-ish score: queued work on the path plus a hop penalty."""
+        now = self.sim.now
+        backlog = 0.0
+        for ch in self.channels_for(path_switches, src, dst):
+            wait = self.free_at[ch] - now
+            if wait > 0:
+                backlog += wait
+        return backlog + len(path_switches) * self.config.hop_latency
+
+    def select_path(self, src: int, dst: int, mode: RoutingMode) -> PathChoice:
+        """Pick a switch path per the routing mode (load-aware when adaptive)."""
+        s_sw = self.topology.node_switch(src)
+        d_sw = self.topology.node_switch(dst)
+        if mode is RoutingMode.STATIC:
+            return PathChoice(self.topology.static_path(s_sw, d_sw), 0)
+        cands = self.topology.candidate_paths(s_sw, d_sw)
+        return choose_path(
+            cands,
+            mode,
+            load_fn=lambda p: self._path_backlog(p, src, dst),
+            rng_pick=lambda n: self.sim.rng.choice(f"{self.name}.route", n),
+        )
+
+    def _pair_routes(self, src: int, dst: int) -> tuple:
+        """Cached channel sequences for every route of a node pair."""
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            s_sw = self.topology.node_switch(src)
+            d_sw = self.topology.node_switch(dst)
+            static_path = self.topology.static_path(s_sw, d_sw)
+            static = (tuple(self.channels_for(static_path, src, dst)), len(static_path))
+            hop = self.config.hop_latency
+            cands = tuple(
+                (tuple(self.channels_for(p, src, dst)), len(p) * hop, len(p))
+                for p in self.topology.candidate_paths(s_sw, d_sw)
+            )
+            cached = (static, cands)
+            self._route_cache[key] = cached
+        return cached
+
+    # --- sending (implemented by fidelities) ------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        header: Any = None,
+        data: bytes = b"",
+        mode: Optional[RoutingMode] = None,
+    ) -> Message:
+        """Transmit *size* bytes from *src* to *dst* (fidelity-specific)."""
+        raise NotImplementedError
+
+    def _mk_message(self, src: int, dst: int, size: int, header: Any, data: bytes) -> Message:
+        self.topology.check_node(src)
+        self.topology.check_node(dst)
+        msg = Message(src=src, dst=dst, size=size, header=header, data=data)
+        msg.send_time = self.sim.now
+        self.messages_sent += 1
+        self.bytes_sent += size
+        return msg
+
+
+class FlowFabric(BaseFabric):
+    """Message-granularity fabric for scale (Figs 7-8 at 8,192 nodes).
+
+    Each message reserves its channels with virtual-cut-through timing:
+    the head advances hop by hop waiting for busy channels; each channel
+    stays occupied until the message tail has been clocked through it.
+    Contention therefore appears at injection, ejection and any shared
+    switch link — the effects that dominate the paper's motifs — while
+    costing O(hops) work per message instead of O(packets x hops).
+    Routes are cached per node pair (topologies are immutable).
+    """
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size: int,
+        header: Any = None,
+        data: bytes = b"",
+        mode: Optional[RoutingMode] = None,
+    ) -> Message:
+        """Send a whole message with virtual-cut-through channel reservation."""
+        mode = mode or self.config.routing
+        msg = self._mk_message(src, dst, size, header, data)
+        (static_chans, static_hops), cands = self._pair_routes(src, dst)
+        free = self.free_at
+        now = self.sim.now
+        if mode is RoutingMode.STATIC:
+            chans, hops, idx = static_chans, static_hops, 0
+        elif len(cands) == 1:
+            chans, _pen, hops = cands[0]
+            idx = 0
+        else:
+            # UGAL-ish scoring, identical to routing.choose_path: queued
+            # backlog plus a hop penalty, randomized among the near-best.
+            scores = []
+            for cand_chans, penalty, _hops in cands:
+                backlog = penalty
+                for ch in cand_chans:
+                    wait = free[ch] - now
+                    if wait > 0:
+                        backlog += wait
+                scores.append(backlog)
+            best = min(scores)
+            slack = best * 0.05 if best * 0.05 > 1.0 else 1.0
+            near = [i for i, sc in enumerate(scores) if sc <= best + slack]
+            idx = near[self.sim.rng.choice(f"{self.name}.route", len(near))]
+            chans, _pen, hops = cands[idx]
+
+        wire = msg.wire_size
+        ser = wire / self.config.link_bw
+        lat = self._chan_latency
+        bytes_acc = self.channel_bytes
+        t_head = now
+        for ch in chans:
+            f = free[ch]
+            if f > t_head:
+                t_head = f
+            t_head += lat[ch]
+            free[ch] = t_head + ser
+            bytes_acc[ch] += wire
+        t_deliver = t_head + ser
+
+        info = DeliveryInfo(
+            send_time=msg.send_time,
+            arrival_time=t_deliver,
+            hops=hops,
+            path_index=idx,
+        )
+        self.sim.schedule_at(t_deliver, self._deliver, dst, Delivery(msg, info))
+        return msg

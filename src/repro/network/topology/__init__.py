@@ -1,0 +1,95 @@
+"""Interconnect topologies evaluated in the paper (Figs 4-8)."""
+
+from __future__ import annotations
+
+import math
+
+from .base import Topology, dedupe_consecutive
+from .dragonfly import Dragonfly
+from .fattree import FatTree
+from .hyperx import HyperX
+from .star import Star
+from .torus import Torus3D
+
+__all__ = [
+    "Dragonfly",
+    "FatTree",
+    "HyperX",
+    "Star",
+    "Topology",
+    "Torus3D",
+    "dedupe_consecutive",
+    "make_topology",
+    "TOPOLOGY_KINDS",
+]
+
+TOPOLOGY_KINDS = ("dragonfly", "fattree", "hyperx", "torus3d", "star")
+
+
+def _dragonfly_for(n: int) -> Dragonfly:
+    for h in range(1, 16):
+        a, p = 2 * h, max(1, h)
+        capacity = a * p * (a * h + 1)
+        if capacity >= n:
+            return Dragonfly(a=a, p=p, h=h, n_nodes=n)
+    raise ValueError(f"no dragonfly sizing for {n} nodes")
+
+
+def _fattree_for(n: int) -> FatTree:
+    k = 2
+    while k * k * k // 4 < n:
+        k += 2
+    return FatTree(k=k, n_nodes=n)
+
+
+def _hyperx_for(n: int) -> HyperX:
+    if n >= 4096:
+        t = 32
+    elif n >= 256:
+        t = 8
+    else:
+        t = 2
+    s = max(2, math.ceil(math.sqrt(n / t)))
+    while s * s * t < n:
+        s += 1
+    return HyperX(dims=(s, s), terminals=t, n_nodes=n)
+
+
+def _torus_for(n: int) -> Torus3D:
+    # Find a near-cubic switch count >= n (terminals = 1, growing the
+    # lattice slightly when n does not factor).
+    m = n
+    while True:
+        x = round(m ** (1 / 3))
+        for dx in range(0, x):
+            for cand in (x - dx, x + dx):
+                if cand >= 2 and m % cand == 0:
+                    rem = m // cand
+                    y = round(math.sqrt(rem))
+                    for dy in range(0, y):
+                        for cy in (y - dy, y + dy):
+                            if cy >= 2 and rem % cy == 0 and rem // cy >= 2:
+                                return Torus3D(
+                                    shape=(cand, cy, rem // cy), terminals=1, n_nodes=n
+                                )
+        m += 1
+
+
+def make_topology(kind: str, n_nodes: int) -> Topology:
+    """Build a paper-comparable topology sized for *n_nodes* endpoints.
+
+    The sizing heuristics reproduce the paper's setup at 8,192 nodes
+    (e.g. a k=32 fat-tree, a 16x16x32 torus) and scale down cleanly for
+    tests.
+    """
+    if kind == "dragonfly":
+        return _dragonfly_for(n_nodes)
+    if kind == "fattree":
+        return _fattree_for(n_nodes)
+    if kind == "hyperx":
+        return _hyperx_for(n_nodes)
+    if kind == "torus3d":
+        return _torus_for(n_nodes)
+    if kind == "star":
+        return Star(n_nodes)
+    raise ValueError(f"unknown topology kind {kind!r}; choose from {TOPOLOGY_KINDS}")

@@ -1,0 +1,94 @@
+"""Topology base class.
+
+A topology describes switches, the endpoints (nodes) attached to them,
+and how to enumerate paths.  Paths are sequences of switch ids starting
+at the source's switch and ending at the destination's switch; fabrics
+translate consecutive switch pairs into directed channels.
+
+Every concrete topology provides:
+
+* ``static_path(s, d)`` — the one deterministic minimal path (what a
+  statically-routed/DOR network would use);
+* ``candidate_paths(s, d)`` — the path set an adaptively-routed network
+  chooses from (minimal candidates plus, where the topology calls for
+  it, Valiant-style non-minimal paths).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+
+class Topology(ABC):
+    """Abstract interconnect topology."""
+
+    #: short machine name, e.g. "dragonfly"
+    kind: str = "topology"
+
+    def __init__(self, n_nodes: int, n_switches: int, name: str = "") -> None:
+        if n_nodes <= 0 or n_switches <= 0:
+            raise ValueError("topology needs positive node and switch counts")
+        self.n_nodes = n_nodes
+        self.n_switches = n_switches
+        self.name = name or self.kind
+
+    # --- structure -------------------------------------------------------------
+
+    @abstractmethod
+    def node_switch(self, node: int) -> int:
+        """Switch id the endpoint *node* is cabled to."""
+
+    @abstractmethod
+    def switch_neighbors(self, sw: int) -> Sequence[int]:
+        """Switches directly linked to *sw* (used to enumerate channels)."""
+
+    def links(self) -> Iterable[tuple[int, int]]:
+        """All directed switch-to-switch links."""
+        for u in range(self.n_switches):
+            for v in self.switch_neighbors(u):
+                yield (u, v)
+
+    # --- routing ---------------------------------------------------------------
+
+    @abstractmethod
+    def static_path(self, src_sw: int, dst_sw: int) -> list[int]:
+        """Deterministic minimal path (inclusive of both endpoints)."""
+
+    @abstractmethod
+    def candidate_paths(self, src_sw: int, dst_sw: int) -> list[list[int]]:
+        """Paths an adaptive router may choose between (>=1 entry)."""
+
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum switch-to-switch minimal hop count."""
+
+    # --- validation helpers ---------------------------------------------------------
+
+    def check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside [0, {self.n_nodes})")
+
+    def validate_path(self, path: list[int], src_sw: int, dst_sw: int) -> None:
+        """Assert a path is well-formed; used by tests and debug builds."""
+        if not path or path[0] != src_sw or path[-1] != dst_sw:
+            raise AssertionError(f"path {path} does not join {src_sw}->{dst_sw}")
+        for u, v in zip(path, path[1:]):
+            if v not in self.switch_neighbors(u):
+                raise AssertionError(f"path edge {u}->{v} is not a link")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<{type(self).__name__} {self.name}: {self.n_nodes} nodes, "
+            f"{self.n_switches} switches>"
+        )
+
+
+def dedupe_consecutive(path: list[int]) -> list[int]:
+    """Collapse repeated consecutive switches (e.g. when the source's
+    switch already owns the global link)."""
+    out = [path[0]]
+    for sw in path[1:]:
+        if sw != out[-1]:
+            out.append(sw)
+    return out

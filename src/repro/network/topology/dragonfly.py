@@ -1,0 +1,113 @@
+"""Canonical dragonfly topology (Kim et al.), as used in Fig 7/8.
+
+Parameters: ``a`` routers per group, ``p`` terminals per router, ``h``
+global links per router.  With ``g = a*h + 1`` groups every pair of
+groups shares exactly one global link; routers within a group are fully
+connected.  Minimal routes are L-G-L (<=3 switch hops); non-minimal
+(Valiant) routes go via a random intermediate group, which is what an
+adaptively routed dragonfly uses to spread load.
+"""
+
+from __future__ import annotations
+
+from .base import Topology, dedupe_consecutive
+
+
+class Dragonfly(Topology):
+    kind = "dragonfly"
+
+    def __init__(self, a: int, p: int, h: int, n_nodes: int = 0) -> None:
+        if a < 1 or p < 1 or h < 1:
+            raise ValueError("dragonfly requires a, p, h >= 1")
+        self.a = a
+        self.p = p
+        self.h = h
+        self.groups = a * h + 1
+        n_switches = a * self.groups
+        capacity = p * n_switches
+        if n_nodes == 0:
+            n_nodes = capacity
+        if n_nodes > capacity:
+            raise ValueError(f"n_nodes {n_nodes} exceeds capacity {capacity}")
+        super().__init__(n_nodes, n_switches, f"dragonfly(a={a},p={p},h={h})")
+        # Non-minimal path pool is sampled per-message by the fabric.
+        self._valiant_groups = max(1, self.groups - 2)
+
+    # --- structure -----------------------------------------------------------
+
+    def node_switch(self, node: int) -> int:
+        self.check_node(node)
+        return node // self.p
+
+    def group_of(self, sw: int) -> int:
+        return sw // self.a
+
+    def router_in_group(self, sw: int) -> int:
+        return sw % self.a
+
+    def _global_link_owner(self, src_group: int, dst_group: int) -> int:
+        """Switch id in *src_group* owning the global link to *dst_group*."""
+        if src_group == dst_group:
+            raise ValueError("no global link within a group")
+        j = dst_group if dst_group < src_group else dst_group - 1
+        return src_group * self.a + (j // self.h)
+
+    def switch_neighbors(self, sw: int) -> list[int]:
+        grp = self.group_of(sw)
+        r = self.router_in_group(sw)
+        # Intra-group: fully connected.
+        out = [grp * self.a + i for i in range(self.a) if i != r]
+        # Global links owned by this router.
+        for port in range(self.h):
+            j = r * self.h + port
+            dst_group = j if j < grp else j + 1
+            if dst_group >= self.groups:
+                continue
+            out.append(self._global_link_owner(dst_group, grp))
+        return out
+
+    # --- routing -------------------------------------------------------------
+
+    def _lgl(self, src_sw: int, dst_sw: int) -> list[int]:
+        """Minimal local-global-local route between two switches."""
+        sg, dg = self.group_of(src_sw), self.group_of(dst_sw)
+        if sg == dg:
+            return dedupe_consecutive([src_sw, dst_sw])
+        g_out = self._global_link_owner(sg, dg)
+        g_in = self._global_link_owner(dg, sg)
+        return dedupe_consecutive([src_sw, g_out, g_in, dst_sw])
+
+    def static_path(self, src_sw: int, dst_sw: int) -> list[int]:
+        if src_sw == dst_sw:
+            return [src_sw]
+        return self._lgl(src_sw, dst_sw)
+
+    def valiant_path(self, src_sw: int, dst_sw: int, mid_group: int) -> list[int]:
+        """Non-minimal route through *mid_group* (a Valiant deroute)."""
+        sg, dg = self.group_of(src_sw), self.group_of(dst_sw)
+        if mid_group in (sg, dg):
+            return self.static_path(src_sw, dst_sw)
+        # land on the router in mid_group that owns the link onward to dg
+        entry = self._global_link_owner(mid_group, sg)
+        first = self._lgl(src_sw, entry)
+        second = self._lgl(entry, dst_sw)
+        return dedupe_consecutive(first + second[1:])
+
+    def candidate_paths(self, src_sw: int, dst_sw: int) -> list[list[int]]:
+        if src_sw == dst_sw:
+            return [[src_sw]]
+        cands = [self.static_path(src_sw, dst_sw)]
+        sg, dg = self.group_of(src_sw), self.group_of(dst_sw)
+        if sg != dg:
+            # A deterministic spread of Valiant intermediates; the fabric
+            # picks among candidates by load.
+            step = max(1, self.groups // 4)
+            mids = {(sg + k * step + 1) % self.groups for k in range(3)}
+            for m in sorted(mids):
+                if m not in (sg, dg):
+                    cands.append(self.valiant_path(src_sw, dst_sw, m))
+        return cands
+
+    def diameter(self) -> int:
+        # L-G-L worst case is 3 switch-to-switch hops (4 switches).
+        return 3

@@ -1,0 +1,118 @@
+"""Three-level k-ary fat-tree (Clos), k even: k^3/4 hosts.
+
+Layout: k pods; each pod has k/2 edge and k/2 aggregation switches;
+(k/2)^2 core switches.  Aggregation switch j of every pod uplinks to
+core switches [j*(k/2), (j+1)*(k/2)).  Static routing is D-mod-k
+(deterministic up-path chosen by destination hash); adaptive routing
+chooses among all (k/2)^2 up-paths by load.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+
+class FatTree(Topology):
+    kind = "fattree"
+
+    def __init__(self, k: int, n_nodes: int = 0) -> None:
+        if k < 2 or k % 2:
+            raise ValueError("fat-tree requires even k >= 2")
+        self.k = k
+        self.half = k // 2
+        self.n_pods = k
+        self.n_edge = k * self.half
+        self.n_agg = k * self.half
+        self.n_core = self.half * self.half
+        capacity = self.half * self.n_edge  # k^3/4
+        if n_nodes == 0:
+            n_nodes = capacity
+        if n_nodes > capacity:
+            raise ValueError(f"n_nodes {n_nodes} exceeds capacity {capacity}")
+        super().__init__(n_nodes, self.n_edge + self.n_agg + self.n_core, f"fattree(k={k})")
+
+    # switch id layout: [edges][aggs][cores]
+    def edge_id(self, pod: int, i: int) -> int:
+        return pod * self.half + i
+
+    def agg_id(self, pod: int, j: int) -> int:
+        return self.n_edge + pod * self.half + j
+
+    def core_id(self, c: int) -> int:
+        return self.n_edge + self.n_agg + c
+
+    def is_edge(self, sw: int) -> bool:
+        return sw < self.n_edge
+
+    def is_agg(self, sw: int) -> bool:
+        return self.n_edge <= sw < self.n_edge + self.n_agg
+
+    def is_core(self, sw: int) -> bool:
+        return sw >= self.n_edge + self.n_agg
+
+    # --- structure --------------------------------------------------------------
+
+    def node_switch(self, node: int) -> int:
+        self.check_node(node)
+        return node // self.half  # edge switch id
+
+    def pod_of_edge(self, sw: int) -> int:
+        return sw // self.half
+
+    def switch_neighbors(self, sw: int) -> list[int]:
+        if self.is_edge(sw):
+            pod = self.pod_of_edge(sw)
+            return [self.agg_id(pod, j) for j in range(self.half)]
+        if self.is_agg(sw):
+            idx = sw - self.n_edge
+            pod, j = divmod(idx, self.half)
+            down = [self.edge_id(pod, i) for i in range(self.half)]
+            up = [self.core_id(j * self.half + m) for m in range(self.half)]
+            return down + up
+        c = sw - self.n_edge - self.n_agg
+        j = c // self.half
+        return [self.agg_id(pod, j) for pod in range(self.n_pods)]
+
+    # --- routing ---------------------------------------------------------------
+
+    def _updown(self, src_sw: int, dst_sw: int, j: int, m: int) -> list[int]:
+        """Up/down path via aggregation column j (and core offset m)."""
+        sp, dp = self.pod_of_edge(src_sw), self.pod_of_edge(dst_sw)
+        if sp == dp:
+            return [src_sw, self.agg_id(sp, j), dst_sw]
+        core = self.core_id(j * self.half + m)
+        return [src_sw, self.agg_id(sp, j), core, self.agg_id(dp, j), dst_sw]
+
+    def static_path(self, src_sw: int, dst_sw: int) -> list[int]:
+        if src_sw == dst_sw:
+            return [src_sw]
+        # D-mod-k: both up-path choices keyed on the destination edge id,
+        # so all traffic to one destination converges (classic static ECMP).
+        j = dst_sw % self.half
+        m = (dst_sw // self.half) % self.half
+        return self._updown(src_sw, dst_sw, j, m)
+
+    def candidate_paths(self, src_sw: int, dst_sw: int) -> list[list[int]]:
+        if src_sw == dst_sw:
+            return [[src_sw]]
+        sp, dp = self.pod_of_edge(src_sw), self.pod_of_edge(dst_sw)
+        cands = []
+        if sp == dp:
+            for j in range(self.half):
+                cands.append(self._updown(src_sw, dst_sw, j, 0))
+            return cands
+        # Spread over aggregation columns and a couple of cores per column.
+        for j in range(self.half):
+            for m in (0, self.half // 2):
+                cands.append(self._updown(src_sw, dst_sw, j, m % self.half))
+        # De-duplicate (when half == 1 the two m values coincide).
+        seen, out = set(), []
+        for p in cands:
+            t = tuple(p)
+            if t not in seen:
+                seen.add(t)
+                out.append(p)
+        return out
+
+    def diameter(self) -> int:
+        return 4  # edge-agg-core-agg-edge

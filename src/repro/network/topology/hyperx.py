@@ -1,0 +1,112 @@
+"""HyperX topology (Ahn et al.): an L-dimensional generalized hypercube.
+
+Routers form an L-dimensional lattice with shape ``dims``; along every
+dimension each router is directly linked to *all* routers sharing its
+other coordinates.  Minimal routing corrects each mismatched dimension
+once: Dimension-Order Routing (DOR) corrects them in a fixed order
+(the paper's "HyperX Dimension Order Routing" series in Fig 8);
+adaptive routing (DAL-like) chooses the dimension order by load.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import math
+
+from .base import Topology
+
+
+class HyperX(Topology):
+    kind = "hyperx"
+
+    def __init__(self, dims: tuple[int, ...], terminals: int, n_nodes: int = 0) -> None:
+        dims = tuple(int(d) for d in dims)
+        if not dims or any(d < 2 for d in dims):
+            raise ValueError("hyperx dims must each be >= 2")
+        if terminals < 1:
+            raise ValueError("terminals per router must be >= 1")
+        self.dims = dims
+        self.terminals = terminals
+        n_switches = math.prod(dims)
+        capacity = n_switches * terminals
+        if n_nodes == 0:
+            n_nodes = capacity
+        if n_nodes > capacity:
+            raise ValueError(f"n_nodes {n_nodes} exceeds capacity {capacity}")
+        super().__init__(
+            n_nodes, n_switches, f"hyperx({'x'.join(map(str, dims))},T={terminals})"
+        )
+        # Strides for coordinate <-> id conversion (row-major).
+        self._strides = []
+        s = 1
+        for d in reversed(dims):
+            self._strides.append(s)
+            s *= d
+        self._strides.reverse()
+
+    # --- coordinates -----------------------------------------------------------
+
+    def coords(self, sw: int) -> tuple[int, ...]:
+        out = []
+        for stride, d in zip(self._strides, self.dims):
+            out.append((sw // stride) % d)
+        return tuple(out)
+
+    def switch_id(self, coords: tuple[int, ...]) -> int:
+        return sum(c * s for c, s in zip(coords, self._strides))
+
+    # --- structure --------------------------------------------------------------
+
+    def node_switch(self, node: int) -> int:
+        self.check_node(node)
+        return node // self.terminals
+
+    def switch_neighbors(self, sw: int) -> list[int]:
+        c = self.coords(sw)
+        out = []
+        for dim, size in enumerate(self.dims):
+            for v in range(size):
+                if v != c[dim]:
+                    nc = list(c)
+                    nc[dim] = v
+                    out.append(self.switch_id(tuple(nc)))
+        return out
+
+    # --- routing -----------------------------------------------------------------
+
+    def _path_with_order(self, src_sw: int, dst_sw: int, order: tuple[int, ...]) -> list[int]:
+        path = [src_sw]
+        cur = list(self.coords(src_sw))
+        dst = self.coords(dst_sw)
+        for dim in order:
+            if cur[dim] != dst[dim]:
+                cur[dim] = dst[dim]
+                path.append(self.switch_id(tuple(cur)))
+        return path
+
+    def static_path(self, src_sw: int, dst_sw: int) -> list[int]:
+        """DOR: correct dimensions in ascending index order."""
+        if src_sw == dst_sw:
+            return [src_sw]
+        return self._path_with_order(src_sw, dst_sw, tuple(range(len(self.dims))))
+
+    def candidate_paths(self, src_sw: int, dst_sw: int) -> list[list[int]]:
+        if src_sw == dst_sw:
+            return [[src_sw]]
+        ndims = len(self.dims)
+        orders = list(permutations(range(ndims))) if ndims <= 3 else [
+            tuple(range(ndims)),
+            tuple(reversed(range(ndims))),
+        ]
+        seen, out = set(), []
+        for order in orders:
+            p = self._path_with_order(src_sw, dst_sw, order)
+            t = tuple(p)
+            if t not in seen:
+                seen.add(t)
+                out.append(p)
+        return out
+
+    def diameter(self) -> int:
+        return len(self.dims)

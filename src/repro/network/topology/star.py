@@ -1,0 +1,33 @@
+"""Single-switch star: the back-to-back testbed topology.
+
+The paper's "real world testing" (Figs 4-6) uses two nodes on one
+switch; this topology models exactly that and keeps microbenchmark
+latency free of multi-hop effects.
+"""
+
+from __future__ import annotations
+
+from .base import Topology
+
+
+class Star(Topology):
+    kind = "star"
+
+    def __init__(self, n_nodes: int) -> None:
+        super().__init__(n_nodes, 1, f"star({n_nodes})")
+
+    def node_switch(self, node: int) -> int:
+        self.check_node(node)
+        return 0
+
+    def switch_neighbors(self, sw: int) -> list[int]:
+        return []
+
+    def static_path(self, src_sw: int, dst_sw: int) -> list[int]:
+        return [0]
+
+    def candidate_paths(self, src_sw: int, dst_sw: int) -> list[list[int]]:
+        return [[0]]
+
+    def diameter(self) -> int:
+        return 0

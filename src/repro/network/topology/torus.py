@@ -1,0 +1,115 @@
+"""3-D torus with wraparound links (Cray Gemini / BlueGene class).
+
+Minimal DOR routing corrects X then Y then Z, taking the shorter ring
+direction per dimension.  Adaptive routing varies the dimension order.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import Topology
+
+
+class Torus3D(Topology):
+    kind = "torus3d"
+
+    def __init__(
+        self, shape: tuple[int, int, int], terminals: int = 1, n_nodes: int = 0
+    ) -> None:
+        shape = tuple(int(s) for s in shape)
+        if len(shape) != 3 or any(s < 2 for s in shape):
+            raise ValueError("torus3d needs three dimensions each >= 2")
+        if terminals < 1:
+            raise ValueError("terminals per router must be >= 1")
+        self.shape = shape
+        self.terminals = terminals
+        n_switches = math.prod(shape)
+        capacity = n_switches * terminals
+        if n_nodes == 0:
+            n_nodes = capacity
+        if n_nodes > capacity:
+            raise ValueError(f"n_nodes {n_nodes} exceeds capacity {capacity}")
+        super().__init__(
+            n_nodes, n_switches, f"torus3d({'x'.join(map(str, shape))},T={terminals})"
+        )
+        sx, sy, sz = shape
+        self._strides = (sy * sz, sz, 1)
+
+    def coords(self, sw: int) -> tuple[int, int, int]:
+        sx, sy, sz = self.shape
+        return (sw // (sy * sz), (sw // sz) % sy, sw % sz)
+
+    def switch_id(self, c: tuple[int, int, int]) -> int:
+        return c[0] * self._strides[0] + c[1] * self._strides[1] + c[2]
+
+    # --- structure ---------------------------------------------------------------
+
+    def node_switch(self, node: int) -> int:
+        self.check_node(node)
+        return node // self.terminals
+
+    def switch_neighbors(self, sw: int) -> list[int]:
+        c = self.coords(sw)
+        out = []
+        for dim in range(3):
+            size = self.shape[dim]
+            for step in (-1, 1):
+                nc = list(c)
+                nc[dim] = (nc[dim] + step) % size
+                nsw = self.switch_id(tuple(nc))
+                if nsw != sw:  # size-2 rings: +1 and -1 coincide
+                    out.append(nsw)
+        # De-duplicate while preserving order.
+        seen, uniq = set(), []
+        for n in out:
+            if n not in seen:
+                seen.add(n)
+                uniq.append(n)
+        return uniq
+
+    # --- routing -------------------------------------------------------------------
+
+    def _ring_steps(self, frm: int, to: int, size: int) -> list[int]:
+        """Coordinates visited moving the short way around one ring."""
+        if frm == to:
+            return []
+        fwd = (to - frm) % size
+        back = (frm - to) % size
+        step = 1 if fwd <= back else -1
+        steps = []
+        cur = frm
+        while cur != to:
+            cur = (cur + step) % size
+            steps.append(cur)
+        return steps
+
+    def _path_with_order(self, src_sw: int, dst_sw: int, order: tuple[int, ...]) -> list[int]:
+        path = [src_sw]
+        cur = list(self.coords(src_sw))
+        dst = self.coords(dst_sw)
+        for dim in order:
+            for coord in self._ring_steps(cur[dim], dst[dim], self.shape[dim]):
+                cur[dim] = coord
+                path.append(self.switch_id(tuple(cur)))
+        return path
+
+    def static_path(self, src_sw: int, dst_sw: int) -> list[int]:
+        if src_sw == dst_sw:
+            return [src_sw]
+        return self._path_with_order(src_sw, dst_sw, (0, 1, 2))
+
+    def candidate_paths(self, src_sw: int, dst_sw: int) -> list[list[int]]:
+        if src_sw == dst_sw:
+            return [[src_sw]]
+        seen, out = set(), []
+        for order in ((0, 1, 2), (2, 1, 0), (1, 0, 2)):
+            p = self._path_with_order(src_sw, dst_sw, order)
+            t = tuple(p)
+            if t not in seen:
+                seen.add(t)
+                out.append(p)
+        return out
+
+    def diameter(self) -> int:
+        return sum(s // 2 for s in self.shape)

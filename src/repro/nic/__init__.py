@@ -1,0 +1,61 @@
+"""NIC hardware models: the RDMA baseline and the RVMA proposal."""
+
+from .base import BaseNic, NicConfig
+from .cq import CompletionQueue, CqEntry, CqKind
+from .headers import (
+    CONTROL_BYTES,
+    AckHeader,
+    NackReason,
+    RdmaReadHeader,
+    RdmaReadReply,
+    RdmaSendHeader,
+    RdmaWriteHeader,
+    RvmaGetHeader,
+    RvmaGetReply,
+    RvmaNackHeader,
+    RvmaPutHeader,
+)
+from .lut import (
+    BufferMode,
+    EpochType,
+    LutError,
+    MailboxEntry,
+    MailboxLUT,
+    RetiredBuffer,
+)
+from .rdma import MAX_IMM_PAYLOAD, RdmaError, RdmaNic, RdmaNicConfig, RdmaOp
+from .rvma import GetOp, PutOp, RvmaNic, RvmaNicConfig
+
+__all__ = [
+    "AckHeader",
+    "BaseNic",
+    "BufferMode",
+    "CompletionQueue",
+    "CONTROL_BYTES",
+    "CqEntry",
+    "CqKind",
+    "EpochType",
+    "GetOp",
+    "LutError",
+    "MailboxEntry",
+    "MailboxLUT",
+    "MAX_IMM_PAYLOAD",
+    "NackReason",
+    "NicConfig",
+    "PutOp",
+    "RdmaError",
+    "RdmaNic",
+    "RdmaNicConfig",
+    "RdmaOp",
+    "RdmaReadHeader",
+    "RdmaReadReply",
+    "RdmaSendHeader",
+    "RdmaWriteHeader",
+    "RetiredBuffer",
+    "RvmaGetHeader",
+    "RvmaGetReply",
+    "RvmaNackHeader",
+    "RvmaNic",
+    "RvmaNicConfig",
+    "RvmaPutHeader",
+]

@@ -1,0 +1,128 @@
+"""Base NIC: fabric attachment, op timing, delivery dispatch.
+
+Concrete NICs (:mod:`repro.nic.rdma`, :mod:`repro.nic.rvma`) register a
+handler per header type.  The base class charges the common hardware
+costs — NIC packet processing and PCIe/DMA traversals — so both models
+pay identical prices for identical work, which is the paper's
+methodology ("identical timing for non-RDMA related traffic", §V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..memory.memory import NodeMemory
+from ..memory.pcie import PAPER_SIM, PcieBus, PcieGen
+from ..network.fabric import BaseFabric
+from ..network.message import Delivery, Message
+from ..network.routing import RoutingMode
+from ..sim.component import Component
+from ..sim.engine import Simulator
+from ..sim.process import Future
+from .headers import CONTROL_BYTES
+
+
+@dataclass
+class NicConfig:
+    """Hardware cost model shared by the RDMA and RVMA NICs."""
+
+    #: PCIe generation for host<->NIC traversals.
+    pcie: PcieGen = PAPER_SIM
+    #: NIC pipeline time to parse/act on one arriving message/packet (ns).
+    nic_proc: float = 25.0
+    #: Host doorbell -> NIC descriptor fetch -> first byte on the wire (ns),
+    #: *excluding* the PCIe traversal itself (added from ``pcie``).
+    issue_overhead: float = 40.0
+    #: Gap between a DMA data store and the completion/CQE store that
+    #: follows it: PCIe posted writes pipeline, so the notification does
+    #: not pay a second full bus traversal (it lands just behind the data).
+    completion_pipeline_gap: float = 25.0
+
+    def issue_latency(self) -> float:
+        """Host posting an operation until the NIC starts injecting."""
+        return self.issue_overhead + self.pcie.latency
+
+
+class BaseNic(Component):
+    """A NIC attached to one node's memory and to the fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        memory: NodeMemory,
+        fabric: BaseFabric,
+        config: Optional[NicConfig] = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name or f"nic{node_id}")
+        self.node_id = node_id
+        self.memory = memory
+        self.fabric = fabric
+        self.config = config or NicConfig()
+        self.pcie = PcieBus(self.config.pcie)
+        self._dispatch: dict[type, Callable[[Delivery], None]] = {}
+        #: Set by fault injection: a failed NIC drops all traffic and
+        #: refuses host commands.
+        self.failed = False
+        fabric.attach(node_id, self._on_delivery)
+
+    # --- receive path ------------------------------------------------------------
+
+    def register_handler(self, header_type: type, fn: Callable[[Delivery], None]) -> None:
+        self._dispatch[header_type] = fn
+
+    def fail(self) -> None:
+        """Simulate node death: all subsequent traffic is dropped."""
+        self.failed = True
+        self.stat("failed").add()
+
+    def _on_delivery(self, delivery: Delivery) -> None:
+        if self.failed:
+            self.stat("rx_dropped_failed").add()
+            return
+        # NIC pipeline processes each arrival (packet or whole message).
+        self.sim.schedule(self.config.nic_proc, self._handle, delivery)
+
+    def _handle(self, delivery: Delivery) -> None:
+        fn = self._dispatch.get(type(delivery.message.header))
+        if fn is None:
+            self.stat("rx_unknown_header").add()
+            return
+        fn(delivery)
+
+    # --- transmit path -------------------------------------------------------------
+
+    def inject(
+        self,
+        dst: int,
+        size: int,
+        header: Any,
+        data: bytes = b"",
+        mode: Optional[RoutingMode] = None,
+        after: float = 0.0,
+    ) -> None:
+        """Put a message on the fabric ``after`` ns from now."""
+        self.sim.schedule(after, self._inject_now, dst, size, header, data, mode)
+
+    def _inject_now(self, dst: int, size: int, header: Any, data: bytes, mode) -> Message:
+        self.stat("tx_messages").add()
+        return self.fabric.send(self.node_id, dst, size, header=header, data=data, mode=mode)
+
+    def send_control(self, dst: int, header: Any, mode: Optional[RoutingMode] = None) -> None:
+        """Emit a small control message (ack/NACK/read request)."""
+        self.stat("tx_control").add()
+        self.fabric.send(self.node_id, dst, CONTROL_BYTES, header=header, mode=mode)
+
+    def local_injection_done(self) -> float:
+        """Absolute time the injection channel finishes the last send."""
+        return max(self.fabric.injection_busy_until(self.node_id), self.sim.now)
+
+    # --- host-side futures -----------------------------------------------------------
+
+    def future(self) -> Future:
+        return Future(self.sim)
+
+    def resolve_at(self, fut: Future, time: float, value: Any = None) -> None:
+        self.sim.schedule_at(max(time, self.sim.now), fut.resolve, value)

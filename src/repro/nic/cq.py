@@ -1,0 +1,80 @@
+"""Completion queue model for the RDMA baseline NIC.
+
+RDMA surfaces *all* completions through shared CQs; the paper contrasts
+this with RVMA's per-buffer completion pointers (a known location per
+transfer, MWait-able, no demultiplexing).  Entries are DMAed into host
+memory by the NIC (a PCIe traversal) before software can poll them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..sim.engine import Simulator
+from ..sim.process import Future
+
+
+class CqKind(Enum):
+    WRITE_DONE = "write_done"  # initiator: RDMA write acked
+    SEND_DONE = "send_done"  # initiator: send acked
+    RECV = "recv"  # target: send landed in a posted recv
+    WRITE_IMM = "write_imm"  # target: write-with-immediate arrived
+    READ_DONE = "read_done"  # initiator: read data placed locally
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class CqEntry:
+    kind: CqKind
+    op_id: int
+    size: int = 0
+    imm: Optional[int] = None
+    wr_id: int = 0
+    time: float = 0.0
+    ok: bool = True
+
+
+class CompletionQueue:
+    """FIFO of completion entries with future-based waiting."""
+
+    def __init__(self, sim: Simulator, capacity: int = 4096) -> None:
+        self.sim = sim
+        self.capacity = capacity
+        self.entries: deque[CqEntry] = deque()
+        self._waiters: deque[Future] = deque()
+        self.overflows = 0
+        self.total_entries = 0
+
+    def push(self, entry: CqEntry) -> None:
+        """NIC-side: deposit an entry (drops + counts on overflow,
+        the classic 'ran out of CQ contexts' failure the paper cites)."""
+        self.total_entries += 1
+        if self._waiters:
+            self._waiters.popleft().resolve(entry)
+            return
+        if len(self.entries) >= self.capacity:
+            self.overflows += 1
+            return
+        self.entries.append(entry)
+
+    def poll(self, max_entries: int = 1) -> list[CqEntry]:
+        """Software-side: harvest up to *max_entries* without blocking."""
+        out = []
+        while self.entries and len(out) < max_entries:
+            out.append(self.entries.popleft())
+        return out
+
+    def wait(self) -> Future:
+        """Future resolving with the next entry (drains backlog first)."""
+        fut = Future(self.sim)
+        if self.entries:
+            fut.resolve(self.entries.popleft())
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def __len__(self) -> int:
+        return len(self.entries)

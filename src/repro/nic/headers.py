@@ -1,0 +1,123 @@
+"""Wire-protocol headers interpreted by the NIC models.
+
+Headers ride in :attr:`repro.network.message.Message.header` and tell
+the receiving NIC what to do with the payload.  The split mirrors the
+paper's Figure 1 vs Figure 3: RDMA headers carry raw remote addresses
+and rkeys; RVMA headers carry only a mailbox virtual address and an
+offset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+_op_ids = itertools.count(1)
+
+
+def next_op_id() -> int:
+    return next(_op_ids)
+
+
+# --- RVMA -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RvmaPutHeader:
+    """RVMA put: mailbox address + offset into the *active* buffer.
+
+    No physical address, no rkey — the defining property of RVMA.
+    """
+
+    mailbox: int
+    offset: int
+    total_size: int
+    op_id: int = field(default_factory=next_op_id)
+
+
+@dataclass(frozen=True)
+class RvmaGetHeader:
+    """RVMA get: read ``length`` bytes at ``offset`` of the active buffer."""
+
+    mailbox: int
+    offset: int
+    length: int
+    op_id: int = field(default_factory=next_op_id)
+
+
+@dataclass(frozen=True)
+class RvmaGetReply:
+    op_id: int
+    ok: bool
+
+
+class NackReason(Enum):
+    CLOSED = "closed"  # window closed (RVMA_Close_Win)
+    NO_MAILBOX = "no_mailbox"  # mailbox never initialised
+    NO_BUFFER = "no_buffer"  # bucket empty and no catch-all
+    OUT_OF_BOUNDS = "out_of_bounds"  # offset+len exceeds active buffer
+
+
+@dataclass(frozen=True)
+class RvmaNackHeader:
+    """Negative acknowledgement for a discarded RVMA operation.
+
+    The paper allows NACKs to be disabled wholesale to resist DoS
+    (§III-C); :class:`repro.nic.rvma.RvmaNicConfig.send_nacks` models that.
+    """
+
+    op_id: int
+    mailbox: int
+    reason: NackReason
+
+
+# --- RDMA --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RdmaWriteHeader:
+    """RDMA write/put: raw target virtual address + protection key."""
+
+    raddr: int
+    rkey: int
+    total_size: int
+    imm: int | None = None  # write-with-immediate payload (target CQE)
+    op_id: int = field(default_factory=next_op_id)
+
+
+@dataclass(frozen=True)
+class RdmaReadHeader:
+    """RDMA read/get request."""
+
+    raddr: int
+    rkey: int
+    length: int
+    op_id: int = field(default_factory=next_op_id)
+
+
+@dataclass(frozen=True)
+class RdmaReadReply:
+    op_id: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class RdmaSendHeader:
+    """Two-sided send; consumes a posted receive at the target."""
+
+    total_size: int
+    tag: int = 0
+    op_id: int = field(default_factory=next_op_id)
+
+
+@dataclass(frozen=True)
+class AckHeader:
+    """Transport-level acknowledgement (RC semantics, coalesced per op)."""
+
+    op_id: int
+    ok: bool = True
+
+
+#: Wire size of control-only messages (acks, NACKs, read requests).
+CONTROL_BYTES = 16

@@ -1,0 +1,568 @@
+"""The RVMA NIC model — the paper's proposed hardware (Figs 2 and 3).
+
+Receive path (paper Fig 3): lookup the mailbox in the LUT, steer the
+payload into the active posted buffer (offset-addressed, so packet
+arrival order is irrelevant), update the threshold counter, and on
+threshold crossing write ``(head pointer, length)`` to the buffer's
+completion address, retire the buffer and activate the next one in the
+bucket.  The host never sees a buffer until its epoch completes.
+
+Initiator path: a put carries only (mailbox, offset); local completion
+means the payload has left the NIC (send-buffer reuse), not that the
+target acted on it — RVMA needs no remote acknowledgement for its
+completion semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memory.buffer import HostBuffer, PostedBuffer
+from ..memory.memory import NodeMemory
+from ..network.fabric import BaseFabric
+from ..network.message import Delivery
+from ..network.routing import RoutingMode
+from ..sim.engine import Simulator
+from ..sim.process import Future
+from .base import BaseNic, NicConfig
+from .headers import (
+    NackReason,
+    RvmaGetHeader,
+    RvmaGetReply,
+    RvmaNackHeader,
+    RvmaPutHeader,
+)
+from .lut import BufferMode, EpochType, LutError, MailboxEntry, MailboxLUT, RetiredBuffer
+
+
+@dataclass
+class RvmaNicConfig(NicConfig):
+    """RVMA-specific sizing on top of the common NIC cost model."""
+
+    lut_entries: int = 4096
+    #: On-NIC threshold counters; active buffers beyond this spill to
+    #: host memory (completion checks then pay a PCIe round trip).
+    nic_counters: int = 1024
+    #: Retired (completed-epoch) buffers retained per mailbox for rewind.
+    retain_epochs: int = 8
+    #: Whether discarded operations generate NACKs (disable under DoS).
+    send_nacks: bool = True
+    #: Initiator-side retry of NO_BUFFER/NO_MAILBOX-NACKed puts (bucket
+    #: momentarily empty under incast, or the peer's window still being
+    #: initialised) — analogous to IB RNR retry.
+    retry_no_buffer: bool = True
+    put_retry_timeout: float = 2000.0
+    put_retries: int = 64
+    #: Outstanding put handles kept for NACK matching; older ops are
+    #: evicted (a NACK for an evicted op can no longer be retried).
+    #: Bounds initiator memory in million-put motif runs.
+    put_window: int = 65536
+
+
+@dataclass
+class PutOp:
+    """Initiator-side handle for an RVMA put."""
+
+    op_id: int
+    dst: int
+    mailbox: int
+    size: int
+    local_done: Future
+    nacked: Optional[NackReason] = None
+    #: retry state: (data, offset, mode, retries_left)
+    retry: Optional[tuple] = None
+
+
+@dataclass
+class GetOp:
+    """Initiator-side handle for an RVMA get."""
+
+    op_id: int
+    dst: int
+    mailbox: int
+    length: int
+    done: Future  # resolves True (data placed) or False (NACK/out of bounds)
+
+
+class RvmaNic(BaseNic):
+    """RVMA-capable NIC bound to one node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        memory: NodeMemory,
+        fabric: BaseFabric,
+        config: Optional[RvmaNicConfig] = None,
+        name: str = "",
+    ) -> None:
+        config = config or RvmaNicConfig()
+        super().__init__(sim, node_id, memory, fabric, config, name or f"rvma{node_id}")
+        self.cfg: RvmaNicConfig = config
+        self.lut = MailboxLUT(
+            max_entries=config.lut_entries,
+            max_counters=config.nic_counters,
+            retain_epochs=config.retain_epochs,
+        )
+        #: bytes received so far per in-flight multi-packet op (op counting).
+        self._op_bytes: dict[int, int] = {}
+        self._gets: dict[int, GetOp] = {}
+        self._puts: dict[int, PutOp] = {}
+        from collections import deque as _deque
+
+        self._put_order: "_deque[int]" = _deque()
+        self.nacks_received: list[RvmaNackHeader] = []
+        self.register_handler(RvmaPutHeader, self._on_put)
+        self.register_handler(RvmaGetHeader, self._on_get)
+        self.register_handler(RvmaGetReply, self._on_get_reply)
+        self.register_handler(RvmaNackHeader, self._on_nack)
+
+    # ------------------------------------------------------------------ host API
+    # All host-initiated commands return Futures resolved after the
+    # modelled PCIe/descriptor costs, so software layers just `yield`.
+
+    def hw_init_window(
+        self,
+        mailbox: int,
+        threshold_type: EpochType = EpochType.EPOCH_BYTES,
+        mode: BufferMode = BufferMode.STEERED,
+    ) -> Future:
+        """Create the LUT entry for a mailbox.  Resolves with the entry."""
+        fut = self.future()
+
+        def do() -> None:
+            try:
+                entry = self.lut.init_entry(mailbox, threshold_type, mode)
+            except LutError as exc:
+                fut.resolve(exc)
+                return
+            self.trace("init_window", mailbox=mailbox)
+            fut.resolve(entry)
+
+        self.sim.schedule(self.cfg.issue_latency(), do)
+        return fut
+
+    def hw_post_buffer(
+        self,
+        mailbox: int,
+        buffer: HostBuffer,
+        threshold: int,
+        notification_addr: int,
+        length_addr: int,
+    ) -> Future:
+        """Attach a buffer to a mailbox's bucket.  Resolves with the
+        :class:`PostedBuffer` (or an exception object on error)."""
+        fut = self.future()
+
+        def do() -> None:
+            entry = self.lut.lookup(mailbox)
+            if entry is None:
+                fut.resolve(LutError(f"mailbox {mailbox:#x} not initialised"))
+                return
+            pb = PostedBuffer(
+                buffer=buffer,
+                notification_addr=notification_addr,
+                length_addr=length_addr,
+                threshold=threshold,
+            )
+            self.lut.post(entry, pb)
+            self.stat("buffers_posted").add()
+            fut.resolve(pb)
+
+        self.sim.schedule(self.cfg.issue_latency(), do)
+        return fut
+
+    def hw_close(self, mailbox: int) -> Future:
+        """Close the window: subsequent ops are discarded (maybe NACKed)."""
+        fut = self.future()
+
+        def do() -> None:
+            entry = self.lut.lookup(mailbox)
+            if entry is not None:
+                entry.closed = True
+            fut.resolve(entry is not None)
+
+        self.sim.schedule(self.cfg.issue_latency(), do)
+        return fut
+
+    def hw_inc_epoch(self, mailbox: int) -> Future:
+        """Pre-empt hardware completion: hand the active buffer to software
+        now (paper's ``RVMA_Win_inc_epoch``).  Resolves with the
+        :class:`RetiredBuffer` record or None if nothing was active."""
+        fut = self.future()
+
+        def do() -> None:
+            entry = self.lut.lookup(mailbox)
+            if entry is None or entry.active is None:
+                fut.resolve(None)
+                return
+            record = self._complete_active(entry)
+            fut.resolve(record)
+
+        self.sim.schedule(self.cfg.issue_latency(), do)
+        return fut
+
+    def hw_set_threshold(self, mailbox: int, threshold: int) -> Future:
+        """Retarget the active buffer's completion threshold.
+
+        Covers the paper's "completion criteria is definable for most
+        codes" escape hatch: when the expected operation/byte count only
+        becomes known later (e.g. at an MPI fence after a count
+        exchange), software installs it and hardware completes the
+        epoch as soon as the counter reaches it — possibly immediately.
+        Resolves True if a window with an active buffer was found.
+        """
+        fut = self.future()
+
+        def do() -> None:
+            entry = self.lut.lookup(mailbox)
+            buf = entry.active if entry is not None else None
+            if buf is None:
+                fut.resolve(False)
+                return
+            buf.threshold = threshold
+            if buf.counter >= buf.threshold > 0:
+                self._complete_active(entry)
+            fut.resolve(True)
+
+        self.sim.schedule(self.cfg.issue_latency(), do)
+        return fut
+
+    def hw_get_epoch(self, mailbox: int) -> Future:
+        """Read the mailbox's current epoch (a PCIe round trip)."""
+        fut = self.future()
+
+        def do() -> None:
+            entry = self.lut.lookup(mailbox)
+            fut.resolve(entry.epoch if entry is not None else -1)
+
+        self.sim.schedule(self.pcie.round_trip(), do)
+        return fut
+
+    def hw_rewind(self, mailbox: int, epochs_back: int = 1) -> Future:
+        """Fetch a prior epoch's buffer record for fault recovery
+        (paper §IV-F).  Resolves with :class:`RetiredBuffer` or None."""
+        fut = self.future()
+
+        def do() -> None:
+            entry = self.lut.lookup(mailbox)
+            fut.resolve(None if entry is None else self.lut.rewind(entry, epochs_back))
+
+        self.sim.schedule(self.pcie.round_trip(), do)
+        return fut
+
+    def hw_set_catch_all(self, mailbox: int) -> Future:
+        """Designate an initialised mailbox as the catch-all bucket."""
+        fut = self.future()
+
+        def do() -> None:
+            entry = self.lut.lookup(mailbox)
+            self.lut.set_catch_all(entry)
+            fut.resolve(entry is not None)
+
+        self.sim.schedule(self.cfg.issue_latency(), do)
+        return fut
+
+    def hw_put(
+        self,
+        dst: int,
+        mailbox: int,
+        size: int,
+        data: bytes = b"",
+        offset: int = 0,
+        mode: Optional[RoutingMode] = None,
+    ) -> PutOp:
+        """Initiate an RVMA put.  ``local_done`` resolves when the payload
+        has fully left this NIC (send buffer reusable)."""
+        hdr = RvmaPutHeader(mailbox=mailbox, offset=offset, total_size=size)
+        op = PutOp(
+            op_id=hdr.op_id,
+            dst=dst,
+            mailbox=mailbox,
+            size=size,
+            local_done=self.future(),
+            retry=(data, offset, mode, self.cfg.put_retries),
+        )
+        self._puts[hdr.op_id] = op
+        self._put_order.append(hdr.op_id)
+        while len(self._put_order) > self.cfg.put_window:
+            self._puts.pop(self._put_order.popleft(), None)
+
+        def issue() -> None:
+            self._inject_now(dst, size, hdr, data, mode)
+            self.resolve_at(op.local_done, self.local_injection_done(), op)
+
+        self.sim.schedule(self.cfg.issue_latency(), issue)
+        return op
+
+    def hw_get(
+        self,
+        dst: int,
+        mailbox: int,
+        length: int,
+        dest_buffer: HostBuffer,
+        offset: int = 0,
+        mode: Optional[RoutingMode] = None,
+    ) -> GetOp:
+        """Initiate an RVMA get from the target's *active* buffer."""
+        if length > dest_buffer.size:
+            raise ValueError("destination buffer too small for get")
+        hdr = RvmaGetHeader(mailbox=mailbox, offset=offset, length=length)
+        op = GetOp(op_id=hdr.op_id, dst=dst, mailbox=mailbox, length=length, done=self.future())
+        op._dest = dest_buffer  # type: ignore[attr-defined]
+        op._mode = mode  # type: ignore[attr-defined]
+        self._gets[hdr.op_id] = op
+        self.sim.schedule(
+            self.cfg.issue_latency(), self.send_control, dst, hdr, mode
+        )
+        return op
+
+    # ------------------------------------------------------------------ receive path
+
+    def _resolve_target(self, hdr: RvmaPutHeader | RvmaGetHeader, src: int):
+        """LUT lookup with catch-all fallback; emits NACKs on failure.
+
+        Returns (entry, buffer) or (None, None) when the op is discarded.
+        """
+        entry = self.lut.lookup(hdr.mailbox)
+        if entry is None:
+            if self.lut.catch_all is not None and self.lut.catch_all.active is not None:
+                self.stat("catch_all_hits").add()
+                return self.lut.catch_all, self.lut.catch_all.active
+            self._nack(src, hdr, NackReason.NO_MAILBOX)
+            return None, None
+        if entry.closed:
+            self._nack(src, hdr, NackReason.CLOSED)
+            return None, None
+        buf = entry.active
+        if buf is None:
+            if self.lut.catch_all is not None and self.lut.catch_all.active is not None:
+                self.stat("catch_all_hits").add()
+                return self.lut.catch_all, self.lut.catch_all.active
+            self._nack(src, hdr, NackReason.NO_BUFFER)
+            return None, None
+        return entry, buf
+
+    def _on_put(self, delivery: Delivery) -> None:
+        msg = delivery.message
+        hdr: RvmaPutHeader = msg.header
+        if delivery.packet is None:
+            frag_off, nbytes, data = 0, msg.size, msg.data
+        else:
+            frag_off = delivery.packet.offset
+            nbytes = delivery.packet.size
+            data = delivery.packet.data
+        # The DMA placement lands one PCIe traversal after NIC processing;
+        # LUT resolution happens atomically with placement so an epoch
+        # completing in the gap steers this data to the *new* active
+        # buffer (as the hardware pipeline would).
+        self.sim.schedule(
+            self.pcie.latency, self._admit_put, hdr, msg.src, frag_off, nbytes, data
+        )
+
+    def _admit_put(
+        self, hdr: RvmaPutHeader, src: int, frag_off: int, nbytes: int, data: bytes
+    ) -> None:
+        entry, buf = self._resolve_target(hdr, src)
+        if entry is None:
+            self.stat("puts_discarded").add()
+            return
+        if entry.mode is BufferMode.MANAGED:
+            # Stream append (paper §IV-B): bytes flow across chunk
+            # buffers, so no single-buffer bounds check applies here.
+            self._place_managed(entry, hdr, src, nbytes, data)
+            return
+        place_off = hdr.offset + frag_off
+        if place_off + nbytes > buf.buffer.size:
+            self._nack(src, hdr, NackReason.OUT_OF_BOUNDS)
+            self.stat("puts_discarded").add()
+            return
+        self._place(entry, buf, hdr, place_off, nbytes, data)
+
+    def _place(
+        self,
+        entry: MailboxEntry,
+        buf: PostedBuffer,
+        hdr: RvmaPutHeader,
+        place_off: int,
+        nbytes: int,
+        data: bytes,
+    ) -> None:
+        if data:
+            buf.buffer.write(place_off, data)
+        buf.bytes_received = max(buf.bytes_received, place_off + nbytes)
+        self.stat("bytes_placed").add(nbytes)
+        self.trace("put_placed", mailbox=entry.mailbox, off=place_off, n=nbytes)
+
+        if entry.threshold_type is EpochType.EPOCH_BYTES:
+            buf.counter += nbytes
+        else:
+            got = self._op_bytes.get(hdr.op_id, 0) + nbytes
+            if got >= hdr.total_size:
+                self._op_bytes.pop(hdr.op_id, None)
+                buf.counter += 1
+            else:
+                self._op_bytes[hdr.op_id] = got
+        if buf.counter >= buf.threshold > 0:
+            self._complete_active(entry)
+
+    def _place_managed(
+        self, entry: MailboxEntry, hdr: RvmaPutHeader, src: int, nbytes: int, data: bytes
+    ) -> None:
+        """Receiver-Managed placement: append bytes into the active
+        buffer, rolling across chunk boundaries; each filled chunk
+        completes its epoch and the stream continues in the next buffer
+        of the bucket (paper §IV-B sockets semantics)."""
+        if nbytes == 0:
+            # Zero-byte put: no stream bytes, but it is still one
+            # operation (same doorbell semantics as steered windows).
+            buf = entry.active
+            if buf is None:
+                self.stat("puts_discarded").add()
+                self._nack(src, hdr, NackReason.NO_BUFFER)
+                return
+            if entry.threshold_type is EpochType.EPOCH_OPS and hdr.total_size == 0:
+                buf.counter += 1
+                if buf.counter >= buf.threshold > 0:
+                    self._complete_active(entry)
+            return
+        consumed = 0
+        while nbytes > 0:
+            buf = entry.active
+            if buf is None:
+                # Stream overran the posted bucket: remainder is lost.
+                self.stat("puts_discarded").add()
+                self._nack(src, hdr, NackReason.NO_BUFFER)
+                return
+            room = buf.buffer.size - buf.bytes_received
+            take = min(room, nbytes)
+            if take > 0:
+                if data:
+                    buf.buffer.write(buf.bytes_received, data[consumed : consumed + take])
+                buf.bytes_received += take
+                self.stat("bytes_placed").add(take)
+                if entry.threshold_type is EpochType.EPOCH_BYTES:
+                    buf.counter += take
+                consumed += take
+                nbytes -= take
+            if entry.threshold_type is EpochType.EPOCH_OPS and nbytes == 0:
+                got = self._op_bytes.get(hdr.op_id, 0) + consumed
+                if got >= hdr.total_size:
+                    self._op_bytes.pop(hdr.op_id, None)
+                    buf.counter += 1
+                else:
+                    self._op_bytes[hdr.op_id] = got
+            if buf.counter >= buf.threshold > 0 or (
+                take == 0 and buf.bytes_received >= buf.buffer.size
+            ):
+                self._complete_active(entry)
+
+    def _complete_active(self, entry: MailboxEntry) -> RetiredBuffer:
+        """Threshold reached (or epoch pre-empted): retire and notify."""
+        spill_penalty = self.pcie.round_trip() if entry.counter_spilled else 0.0
+        record = self.lut.retire_active(entry)
+        self.stat("epochs_completed").add()
+        if entry.counter_spilled:
+            self.stat("spilled_completions").add()
+        pb = record.buffer
+        # One cache-line store carries both the head pointer and length;
+        # it pipelines behind the data DMA (posted writes), so it costs
+        # only the pipeline gap — plus a full host round trip when the
+        # threshold counter spilled to host memory.
+        self.sim.schedule(
+            self.cfg.completion_pipeline_gap + spill_penalty,
+            self._write_completion,
+            pb,
+            record,
+        )
+        self.trace("epoch_complete", mailbox=entry.mailbox, epoch=record.epoch)
+        return record
+
+    def _write_completion(self, pb: PostedBuffer, record: RetiredBuffer) -> None:
+        self.trace("completion_written", epoch=record.epoch, length=record.length)
+        self.memory.write_u64(pb.notification_addr, record.head_addr)
+        self.memory.write_u64(pb.length_addr, record.length)
+
+    # --- get servicing -------------------------------------------------------------
+
+    def _on_get(self, delivery: Delivery) -> None:
+        msg = delivery.message
+        hdr: RvmaGetHeader = msg.header
+        entry, buf = self._resolve_target(hdr, msg.src)
+        if entry is None or hdr.offset + hdr.length > buf.buffer.size:
+            if entry is not None:
+                self._nack(msg.src, hdr, NackReason.OUT_OF_BOUNDS)
+            self.send_control(msg.src, RvmaGetReply(op_id=hdr.op_id, ok=False))
+            return
+
+        def reply() -> None:
+            data = buf.buffer.read(hdr.offset, hdr.length)
+            self._inject_now(
+                msg.src, hdr.length, RvmaGetReply(op_id=hdr.op_id, ok=True), data, None
+            )
+
+        self.sim.schedule(self.pcie.latency, reply)  # DMA read of host memory
+
+    def _on_get_reply(self, delivery: Delivery) -> None:
+        msg = delivery.message
+        hdr: RvmaGetReply = msg.header
+        op = self._gets.get(hdr.op_id)
+        if op is None:
+            return
+        if not hdr.ok:
+            self._gets.pop(hdr.op_id)
+            op.done.resolve(False)
+            return
+        if delivery.packet is None:
+            frag_off, data, nbytes = 0, msg.data, msg.size
+        else:
+            frag_off = delivery.packet.offset
+            data = delivery.packet.data
+            nbytes = delivery.packet.size
+        dest: HostBuffer = op._dest  # type: ignore[attr-defined]
+        got = self._op_bytes.get(-hdr.op_id, 0) + nbytes
+
+        def place() -> None:
+            if data:
+                dest.write(frag_off, data)
+            if got >= op.length:
+                self._op_bytes.pop(-hdr.op_id, None)
+                self._gets.pop(hdr.op_id, None)
+                op.done.resolve(True)
+
+        self._op_bytes[-hdr.op_id] = got
+        self.sim.schedule(self.pcie.latency, place)
+
+    # --- NACKs -----------------------------------------------------------------------
+
+    def _nack(self, src: int, hdr, reason: NackReason) -> None:
+        self.stat(f"nacks_{reason.value}").add()
+        if self.cfg.send_nacks and src != self.node_id:
+            self.send_control(src, RvmaNackHeader(op_id=hdr.op_id, mailbox=hdr.mailbox, reason=reason))
+
+    def _on_nack(self, delivery: Delivery) -> None:
+        hdr: RvmaNackHeader = delivery.message.header
+        self.nacks_received.append(hdr)
+        self.stat("nacks_received").add()
+        op = self._puts.get(hdr.op_id)
+        if op is None:
+            return
+        op.nacked = hdr.reason
+        if (
+            hdr.reason in (NackReason.NO_BUFFER, NackReason.NO_MAILBOX)
+            and self.cfg.retry_no_buffer
+            and op.retry
+            and op.retry[3] > 0
+        ):
+            data, offset, mode, left = op.retry
+            op.retry = (data, offset, mode, left - 1)
+            self.stat("put_retries").add()
+            resend = RvmaPutHeader(
+                mailbox=op.mailbox, offset=offset, total_size=op.size, op_id=op.op_id
+            )
+            self.inject(
+                op.dst, op.size, resend, data, mode, after=self.cfg.put_retry_timeout
+            )
+            return
+        self.stat("puts_lost").add()

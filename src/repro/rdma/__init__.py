@@ -1,0 +1,38 @@
+"""RDMA software layers: Verbs and UCX veneers, handshake, completion modes."""
+
+from .completion_modes import (
+    CompletionMode,
+    UnsafeCompletionError,
+    check_mode_safety,
+    spec_compliant_mode,
+)
+from .dispatch import CqDispatcher
+from .handshake import (
+    DESC_BYTES,
+    HandshakeResult,
+    client_request_region,
+    pack_region,
+    server_serve_region,
+    unpack_region,
+)
+from .ucx import UcpCosts, UcpEndpoint
+from .verbs import SIGNAL_BYTES, VerbsCosts, VerbsEndpoint
+
+__all__ = [
+    "CompletionMode",
+    "CqDispatcher",
+    "DESC_BYTES",
+    "HandshakeResult",
+    "SIGNAL_BYTES",
+    "UcpCosts",
+    "UcpEndpoint",
+    "UnsafeCompletionError",
+    "VerbsCosts",
+    "VerbsEndpoint",
+    "check_mode_safety",
+    "client_request_region",
+    "pack_region",
+    "server_serve_region",
+    "spec_compliant_mode",
+    "unpack_region",
+]

@@ -1,0 +1,182 @@
+"""The discrete-event simulation engine.
+
+This is the stand-in for SST's core: a deterministic event heap with a
+current simulated time, plus registries for components, statistics and
+tracing.  Everything else in the reproduction (links, NICs, switches,
+motifs) is built from callbacks scheduled here.
+
+Determinism: events at equal times run in (priority, insertion-order),
+and all randomness flows through :class:`repro.sim.rng.RngRegistry`,
+so a simulation with a fixed seed is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .event import Event, PRIORITY_NORMAL
+from .rng import RngRegistry
+from .stats import StatsRegistry
+from .trace import Tracer
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine-level misuse (negative delays, time travel...)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams drawn via :attr:`rng`.
+    trace:
+        When true, the :attr:`tracer` records every traced event
+        (components call ``sim.tracer.record(...)``).
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(5.0, out.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, out)
+    (5.0, ['hello'])
+    """
+
+    def __init__(self, seed: int = 0xC0FFEE, trace: bool = False) -> None:
+        self.now: float = 0.0
+        #: heap of (time, priority, seq, Event) tuples.
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._running = False
+        self.events_executed = 0
+        self.rng = RngRegistry(seed)
+        self.stats = StatsRegistry()
+        self.tracer = Tracer(enabled=trace, clock=lambda: self.now)
+        self._components: list[Any] = []
+
+    # --- scheduling ----------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``fn(*args, **kwargs)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``fn`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        self._seq += 1
+        ev = Event(time, priority, self._seq, fn, args, kwargs)
+        # Heap entries are plain tuples: C-speed comparisons instead of
+        # Event.__lt__ (the single hottest call in large motif runs).
+        heapq.heappush(self._heap, (time, priority, self._seq, ev))
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancel()
+
+    # --- component registry ----------------------------------------------------
+
+    def register_component(self, comp: Any) -> None:
+        """Track a component for introspection/finalization."""
+        self._components.append(comp)
+
+    @property
+    def components(self) -> tuple:
+        return tuple(self._components)
+
+    # --- execution ----------------------------------------------------------
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending (non-cancelled) event, or None."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the heap is empty."""
+        heap = self._heap
+        while heap:
+            time, _prio, _seq, ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self.now = time
+            self.events_executed += 1
+            ev.fn(*ev.args, **ev.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulated time at which execution stopped.  When
+        ``until`` is given and events remain beyond it, ``now`` is advanced
+        to exactly ``until`` (SST-style run-window semantics).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until is None and max_events is None:
+                # Fast path (the common case): drain without the
+                # peek-then-step double heap access.
+                heap = self._heap
+                pop = heapq.heappop
+                while heap:
+                    time, _prio, _seq, ev = pop(heap)
+                    if ev.cancelled:
+                        continue
+                    self.now = time
+                    self.events_executed += 1
+                    ev.fn(*ev.args, **ev.kwargs)
+                return self.now
+            executed = 0
+            while True:
+                nxt = self.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self.now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_idle(self) -> float:
+        """Drain every pending event; returns the final simulated time."""
+        return self.run()
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Simulator now={self.now:.1f}ns pending={self.pending_events} "
+            f"executed={self.events_executed}>"
+        )

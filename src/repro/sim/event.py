@@ -1,0 +1,66 @@
+"""Event objects for the discrete-event engine.
+
+An :class:`Event` is a scheduled callback.  Events order by
+``(time, priority, seq)`` so simultaneous events execute in a
+deterministic order: lower priority value first, then insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A single scheduled occurrence in simulated time.
+
+    Events are created by :meth:`repro.sim.engine.Simulator.schedule`;
+    user code normally never constructs one directly.  Holding on to the
+    returned event allows cancellation via :meth:`cancel` or
+    :meth:`repro.sim.engine.Simulator.cancel`.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "kwargs", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it."""
+        self.cancelled = True
+
+    # Heap ordering ---------------------------------------------------------
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        flag = " CANCELLED" if self.cancelled else ""
+        return f"<Event t={self.time:.1f} p={self.priority} #{self.seq} {name}{flag}>"
+
+
+#: Priority used for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for events that must run before normal events at the same time
+#: (e.g. link frees before new arbitration).
+PRIORITY_HIGH = -10
+#: Priority for bookkeeping that must run after everything else at a time.
+PRIORITY_LOW = 10

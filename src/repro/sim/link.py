@@ -1,0 +1,89 @@
+"""Links: the wires between ports.
+
+Two flavours:
+
+* :class:`Link` — pure-latency pipe (control wires, on-die paths).
+* :class:`SerializingLink` — latency plus bandwidth: payloads occupy the
+  channel for ``size/bandwidth`` ns and are delivered FIFO.  This models
+  a physical cable or PCIe lane where back-to-back messages queue.
+
+Both are full-duplex: each direction serializes independently, like a
+real network cable with separate TX/RX lanes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from .event import PRIORITY_HIGH
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .component import Port
+    from .engine import Simulator
+
+
+class Link:
+    """Bidirectional fixed-latency link between two ports."""
+
+    def __init__(self, sim: "Simulator", a: "Port", b: "Port", latency: float) -> None:
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.sim = sim
+        self.latency = latency
+        self.a = a
+        self.b = b
+        a.connect(self)
+        b.connect(self)
+
+    def _peer(self, port: "Port") -> "Port":
+        if port is self.a:
+            return self.b
+        if port is self.b:
+            return self.a
+        raise ValueError("port is not an endpoint of this link")
+
+    def transmit(self, src: "Port", payload: Any, size_bytes: int = 0) -> None:
+        dst = self._peer(src)
+        self.sim.schedule(self.latency, dst.deliver, payload)
+
+
+class SerializingLink(Link):
+    """Latency + bandwidth link: each direction is a FIFO channel.
+
+    The head of a payload leaves after any queued predecessors finish
+    serializing; delivery happens one propagation latency after the
+    payload's *tail* has been clocked out (store-and-forward at the
+    granularity the caller chose — callers doing cut-through pass packet
+    sized payloads).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        a: "Port",
+        b: "Port",
+        latency: float,
+        bandwidth: float,
+    ) -> None:
+        super().__init__(sim, a, b, latency)
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be > 0")
+        self.bandwidth = bandwidth
+        # Independent busy-until horizon per direction.
+        self._free_at = {id(self.a): 0.0, id(self.b): 0.0}
+        self.bytes_carried = 0
+
+    def transmit(self, src: "Port", payload: Any, size_bytes: int = 0) -> None:
+        dst = self._peer(src)
+        now = self.sim.now
+        start = max(now, self._free_at[id(src)])
+        tail_out = start + (size_bytes / self.bandwidth if size_bytes else 0.0)
+        self._free_at[id(src)] = tail_out
+        self.bytes_carried += size_bytes
+        # PRIORITY_HIGH so arrivals at time T are visible to computations
+        # scheduled at T with normal priority.
+        self.sim.schedule_at(tail_out + self.latency, dst.deliver, payload, priority=PRIORITY_HIGH)
+
+    def busy_until(self, src: "Port") -> float:
+        """When the TX channel out of *src* becomes free (for tests)."""
+        return self._free_at[id(src)]

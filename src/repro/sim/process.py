@@ -1,0 +1,129 @@
+"""Coroutine-style processes over the event engine (simpy-flavoured).
+
+Motif ranks and protocol state machines read far more naturally as
+sequential code than as callback chains.  A :class:`SimProcess` drives a
+generator; the generator yields one of:
+
+* ``float`` — sleep that many nanoseconds;
+* :class:`Future` — suspend until it resolves, receiving its value;
+* :class:`AllOf` — suspend until every contained future resolves,
+  receiving the list of values.
+
+A process is itself awaitable via its :attr:`done_future`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
+
+
+class Future:
+    """A one-shot value that processes may wait on.
+
+    NIC completion pointers, message arrivals and process termination
+    are all surfaced to process code as futures.
+    """
+
+    __slots__ = ("sim", "done", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.done = False
+        self.value: Any = None
+        self._waiters: list = []
+
+    def resolve(self, value: Any = None) -> None:
+        """Mark done and wake every waiter (in registration order)."""
+        if self.done:
+            raise RuntimeError("future already resolved")
+        self.done = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.schedule(0.0, cb, value)
+
+    def add_callback(self, cb) -> None:
+        """Invoke ``cb(value)`` once resolved (immediately if already done)."""
+        if self.done:
+            self.sim.schedule(0.0, cb, self.value)
+        else:
+            self._waiters.append(cb)
+
+
+class AllOf:
+    """Barrier over several futures; yields the list of their values."""
+
+    __slots__ = ("futures",)
+
+    def __init__(self, futures: Iterable[Future]) -> None:
+        self.futures = list(futures)
+
+
+class SimProcess:
+    """Drives a generator as a simulated process.
+
+    Exceptions raised inside the generator propagate out of the event
+    loop (they indicate simulation bugs, not modelled behaviour).
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.done_future = Future(sim)
+        self.result: Any = None
+        sim.schedule(0.0, self._advance, None)
+
+    @property
+    def finished(self) -> bool:
+        return self.done_future.done
+
+    def _advance(self, send_value: Any) -> None:
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.done_future.resolve(stop.value)
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            self.sim.schedule(float(yielded), self._advance, None)
+        elif isinstance(yielded, Future):
+            yielded.add_callback(self._advance)
+        elif isinstance(yielded, AllOf):
+            self._wait_all(yielded.futures)
+        elif isinstance(yielded, SimProcess):
+            yielded.done_future.add_callback(self._advance)
+        else:
+            raise TypeError(
+                f"process {self.name} yielded unsupported {type(yielded).__name__}"
+            )
+
+    def _wait_all(self, futures: list[Future]) -> None:
+        if not futures:
+            self.sim.schedule(0.0, self._advance, [])
+            return
+        remaining = [len(futures)]
+        values: list[Any] = [None] * len(futures)
+
+        def make_cb(i: int):
+            def cb(value: Any) -> None:
+                values[i] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    self._advance(values)
+
+            return cb
+
+        for i, f in enumerate(futures):
+            f.add_callback(make_cb(i))
+
+
+def spawn(sim: "Simulator", gen: Generator, name: str = "proc") -> SimProcess:
+    """Start *gen* as a process on *sim* (convenience constructor)."""
+    return SimProcess(sim, gen, name)

@@ -1,0 +1,19 @@
+"""Sockets-style byte streams over Receiver-Managed RVMA (paper SS IV-B)."""
+
+from .api import (
+    Connection,
+    DEFAULT_CHUNK,
+    HELLO_BYTES,
+    RvmaListener,
+    SocketError,
+    connect,
+)
+
+__all__ = [
+    "Connection",
+    "DEFAULT_CHUNK",
+    "HELLO_BYTES",
+    "RvmaListener",
+    "SocketError",
+    "connect",
+]

@@ -1,0 +1,117 @@
+"""Fig 6: how many exchanges amortize RDMA's buffer-setup cost.
+
+RDMA cannot move a byte until the Fig-1 handshake (request, allocate,
+register, reply with (addr, len, rkey)) completes; RVMA starts cold.
+Microbenchmarks hide this by reusing one buffer for thousands of
+iterations.  Fig 6 asks: *how many* reuses until the per-exchange cost
+is within the latency test's margin of error (3%) of steady state?
+
+    N >= setup / (tol * steady_latency)
+
+The paper reports this for both current static-routing practice
+(last-byte completion) and adaptive routing (send/recv completion);
+faster steady latency means *more* exchanges are needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator
+
+from ..network.routing import RoutingMode
+from ..rdma.completion_modes import CompletionMode
+from ..rdma.handshake import client_request_region, server_serve_region
+from ..rdma.verbs import VerbsEndpoint
+from ..sim.process import spawn
+from .calibration import Testbed
+from .microbench import rdma_ucx_latency, rdma_verbs_latency
+
+#: The paper's margin of error for its latency tests.
+DEFAULT_TOLERANCE = 0.03
+
+
+@dataclass
+class AmortizationPoint:
+    """One message size's amortization requirement (a Fig 6 point)."""
+
+    size: int
+    setup_ns: float
+    steady_ns: float
+    tolerance: float
+
+    @property
+    def exchanges_needed(self) -> int:
+        """Exchanges until mean per-exchange cost is within tolerance."""
+        return max(1, math.ceil(self.setup_ns / (self.tolerance * self.steady_ns)))
+
+
+def measure_setup_ns(testbed: Testbed, size: int, interface: str = "ucx") -> float:
+    """Simulate the Fig-1 handshake and return its elapsed ns.
+
+    The UCX flavour adds rkey pack/unpack (ucp_mem_map wireup) on top of
+    the raw registration + address exchange.
+    """
+    from .microbench import _build  # shared cluster construction
+
+    cl = _build(testbed, "rdma", RoutingMode.STATIC, "packet")
+    v0 = VerbsEndpoint(cl.node(0), testbed.verbs)
+    v1 = VerbsEndpoint(cl.node(1), testbed.verbs)
+    result: list[float] = []
+
+    def server() -> Generator:
+        if interface == "ucx":
+            # ucp_rkey pack happens before the descriptor is shipped,
+            # inside the window the client is timing.
+            yield testbed.ucp.rkey_pack
+        yield from server_serve_region(v1, client=0)
+
+    def client() -> Generator:
+        t0 = cl.sim.now
+        yield from client_request_region(v0, server=1, size=size)
+        if interface == "ucx":
+            yield testbed.ucp.rkey_pack  # rkey unpack + endpoint wireup
+        result.append(cl.sim.now - t0)
+
+    spawn(cl.sim, server(), "hs-server")
+    spawn(cl.sim, client(), "hs-client")
+    cl.sim.run()
+    if not result:
+        raise RuntimeError("handshake did not complete")
+    return result[-1]
+
+
+def amortization_analysis(
+    testbed: Testbed,
+    sizes: list[int],
+    interface: str = "ucx",
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> dict[str, list[AmortizationPoint]]:
+    """Fig 6 data: exchanges-to-amortize per size, for static and
+    adaptive routing steady-state baselines."""
+    out: dict[str, list[AmortizationPoint]] = {"static": [], "adaptive": []}
+    for size in sizes:
+        setup = measure_setup_ns(testbed, size, interface)
+        if interface == "ucx":
+            steady_static = rdma_ucx_latency(
+                testbed, size, routing=RoutingMode.STATIC,
+                completion=CompletionMode.LAST_BYTE_POLL,
+            )
+            steady_adaptive = rdma_ucx_latency(
+                testbed, size, routing=RoutingMode.ADAPTIVE,
+                completion=CompletionMode.SEND_RECV,
+            )
+        else:
+            steady_static = rdma_verbs_latency(
+                testbed, size, CompletionMode.LAST_BYTE_POLL, RoutingMode.STATIC
+            )
+            steady_adaptive = rdma_verbs_latency(
+                testbed, size, CompletionMode.SEND_RECV, RoutingMode.ADAPTIVE
+            )
+        out["static"].append(
+            AmortizationPoint(size, setup, steady_static, tolerance)
+        )
+        out["adaptive"].append(
+            AmortizationPoint(size, setup, steady_adaptive, tolerance)
+        )
+    return out

@@ -1,0 +1,22 @@
+"""Importable helpers shared across test modules."""
+
+from __future__ import annotations
+
+from repro.sim import SimProcess, Simulator, spawn
+
+
+def run_gen(sim: Simulator, gen, name: str = "test"):
+    """Drive one generator to completion; returns its value."""
+    proc = SimProcess(sim, gen, name)
+    sim.run()
+    assert proc.finished, f"process {name} deadlocked"
+    return proc.result
+
+
+def run_gens(sim: Simulator, *gens):
+    """Drive several generators concurrently; returns their results."""
+    procs = [spawn(sim, g, f"test{i}") for i, g in enumerate(gens)]
+    sim.run()
+    for p in procs:
+        assert p.finished, f"process {p.name} deadlocked"
+    return [p.result for p in procs]

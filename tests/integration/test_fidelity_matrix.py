@@ -1,0 +1,77 @@
+"""Fidelity cross-validation matrix (DESIGN.md §4 substitution check).
+
+The flow model substitutes for packet-level simulation at scale; these
+tests pin the two together across message sizes and a real motif, so
+the substitution argument stays empirical, not asserted.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import RvmaApi
+from repro.motifs import Halo3D, RvmaProtocol
+from repro.network import NetworkConfig, RoutingMode
+
+from tests.helpers import run_gens
+
+
+def _one_way(fidelity: str, size: int) -> float:
+    cl = Cluster.build(
+        n_nodes=2, topology="star", nic_type="rvma", fidelity=fidelity,
+        net_config=NetworkConfig(routing=RoutingMode.STATIC),
+    )
+    api0, api1 = RvmaApi(cl.node(0)), RvmaApi(cl.node(1))
+    t = {}
+
+    def rx():
+        win = yield from api1.init_window(0x1, epoch_threshold=size)
+        yield from api1.post_buffer(win, size=size)
+        yield from api1.wait_completion(win)
+        t["lat"] = cl.sim.now - t["t0"]
+
+    def tx():
+        yield 1000.0
+        t["t0"] = cl.sim.now
+        yield from api0.put(1, 0x1, size=size)
+
+    run_gens(cl.sim, rx(), tx())
+    return t["lat"]
+
+
+@pytest.mark.parametrize(
+    ("size", "lo", "hi"),
+    [
+        # Small messages: serialization negligible, both models agree tightly.
+        (64, 0.9, 1.1),
+        # Around one MTU the models legitimately diverge the most: the
+        # packet fabric store-and-forwards each (here: single) packet at
+        # every hop plus a crossbar traversal, while the flow fabric is
+        # pure cut-through.  Bounded, documented, and it washes out at
+        # scale (below) where pipelining across fragments resumes.
+        (4096, 0.55, 1.2),
+        # Large messages: MTU pipelining restores agreement.
+        (65536, 0.85, 1.15),
+        (1 << 20, 0.95, 1.05),
+    ],
+)
+def test_point_to_point_fidelity_agreement(size, lo, hi):
+    flow = _one_way("flow", size)
+    packet = _one_way("packet", size)
+    ratio = flow / packet
+    assert lo < ratio < hi, (size, flow, packet)
+
+
+def test_motif_fidelity_agreement_small_scale():
+    """An actual motif (8-rank halo) must land in the same regime at
+    both fidelities — the justification for running Figs 7-8 in flow
+    mode at 8,192 nodes."""
+    elapsed = {}
+    for fidelity in ("flow", "packet"):
+        cl = Cluster.build(
+            n_nodes=8, topology="dragonfly", nic_type="rvma", fidelity=fidelity,
+            net_config=NetworkConfig(routing=RoutingMode.STATIC),
+        )
+        res = Halo3D(cl, RvmaProtocol(), iterations=3, msg_bytes=16384).run()
+        elapsed[fidelity] = res.elapsed
+    ratio = elapsed["flow"] / elapsed["packet"]
+    assert 0.6 < ratio < 1.6, elapsed

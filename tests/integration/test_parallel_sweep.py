@@ -1,0 +1,20 @@
+"""The parallel motif-sweep grid must agree exactly with the serial one."""
+
+from repro.experiments.motif_sweep import run_motif_sweep
+from repro.motifs import Sweep3D
+from repro.network.routing import RoutingMode
+
+
+def test_parallel_and_serial_grids_identical():
+    kwargs = dict(
+        n_nodes=8,
+        topologies=("dragonfly",),
+        rates=("100Gbps",),
+        routings=(RoutingMode.ADAPTIVE,),
+        kb=2,
+    )
+    serial = run_motif_sweep(Sweep3D, jobs=1, **kwargs)
+    parallel = run_motif_sweep(Sweep3D, jobs=2, **kwargs)
+    assert len(serial) == len(parallel) == 1
+    assert serial[0].rvma_ns == parallel[0].rvma_ns
+    assert serial[0].rdma_ns == parallel[0].rdma_ns

@@ -1,0 +1,17 @@
+"""Every model-validation check must hold (recalibration guard)."""
+
+from repro.timing.validation import report, validate
+
+
+def test_all_validation_checks_pass():
+    checks = validate()
+    failed = [c for c in checks if not c.ok]
+    assert not failed, "\n" + "\n".join(
+        f"{c.name}: {c.measured:.1f} outside [{c.lo:.1f}, {c.hi:.1f}]" for c in failed
+    )
+    assert len(checks) >= 7
+
+
+def test_report_renders_every_check():
+    text = report()
+    assert text.count("[ok ]") + text.count("[FAIL]") == len(validate())

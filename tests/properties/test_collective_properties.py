@@ -1,0 +1,61 @@
+"""Property tests: the collective tree structure and reductions."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.tree import _children, _parent
+from repro.cluster import Cluster
+from repro.collectives import TreeComm
+from repro.motifs import RvmaProtocol
+from repro.sim import spawn
+
+
+@given(n=st.integers(min_value=1, max_value=500))
+@settings(max_examples=100, deadline=None)
+def test_reduction_tree_is_spanning(n):
+    """Every rank except 0 has exactly one parent; following parents
+    always reaches the root; parent/child views agree."""
+    for rank in range(n):
+        parent = _parent(rank)
+        if rank == 0:
+            assert parent is None
+        else:
+            assert 0 <= parent < rank  # acyclic by construction
+            assert rank in _children(parent, n)
+        for child in _children(rank, n):
+            assert _parent(child) == rank
+    # Edge count of a spanning tree.
+    edges = sum(len(_children(r, n)) for r in range(n))
+    assert edges == n - 1
+
+
+@given(
+    n=st.integers(min_value=2, max_value=9),
+    values=st.lists(st.integers(min_value=0, max_value=10**9), min_size=2, max_size=2),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=15, deadline=None)
+def test_allreduce_equals_arithmetic_sum(n, values, seed):
+    """For any rank count and inputs, the simulated allreduce agrees
+    with plain arithmetic on every rank."""
+    cl = Cluster.build(
+        n_nodes=n, topology="dragonfly", nic_type="rvma", fidelity="flow", seed=seed
+    )
+    tc = TreeComm(cl, RvmaProtocol(), vector_slots=2)
+    contributions = {r: [values[0] + r, values[1] * (r + 1) % 7919] for r in range(n)}
+    results = {}
+
+    def rank_proc(r):
+        comm = yield from tc.setup(r)
+        totals = yield from tc.allreduce_sum(comm, contributions[r])
+        results[r] = totals
+
+    procs = [spawn(cl.sim, rank_proc(r), f"r{r}") for r in range(n)]
+    cl.sim.run()
+    assert all(p.finished for p in procs)
+    expect = [
+        sum(contributions[r][0] for r in range(n)),
+        sum(contributions[r][1] for r in range(n)),
+    ]
+    assert all(v == expect for v in results.values())

@@ -1,0 +1,81 @@
+"""Property tests: memory substrate and statistics invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.memory import MemoryFault, NodeMemory
+from repro.sim.stats import Summary
+from repro.units import serialization_ns
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=255),  # offset
+            st.binary(min_size=1, max_size=64),  # data
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_memory_behaves_like_reference_bytearray(writes):
+    """NodeMemory must agree with a plain bytearray under any write
+    sequence (the oracle test for the placement substrate)."""
+    mem = NodeMemory()
+    alloc = mem.alloc(512)
+    oracle = bytearray(512)
+    for off, data in writes:
+        mem.write(alloc.base + off, data)  # max offset+len = 255+64 < 512
+        oracle[off : off + len(data)] = data
+    assert mem.read(alloc.base, 512) == bytes(oracle)
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=40)
+)
+@settings(max_examples=100, deadline=None)
+def test_allocations_never_overlap(sizes):
+    mem = NodeMemory()
+    allocs = [mem.alloc(s) for s in sizes]
+    spans = sorted((a.base, a.end) for a in allocs)
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=2, max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_welford_summary_matches_numpy(data):
+    s = Summary("x")
+    for x in data:
+        s.add(x)
+    assert s.mean == pytest.approx(float(np.mean(data)), rel=1e-9, abs=1e-6)
+    assert s.stddev == pytest.approx(float(np.std(data, ddof=1)), rel=1e-6, abs=1e-6)
+    assert s.min == min(data) and s.max == max(data)
+
+
+@given(
+    size=st.integers(min_value=0, max_value=10**9),
+    bw=st.floats(min_value=0.001, max_value=1000.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_serialization_time_nonnegative_and_linear(size, bw):
+    t = serialization_ns(size, bw)
+    assert t >= 0.0
+    assert serialization_ns(2 * size, bw) == pytest.approx(2 * t, abs=1e-6)
+
+
+@given(
+    value=st.integers(min_value=0, max_value=2**64 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_u64_roundtrip_any_value(value):
+    mem = NodeMemory()
+    a = mem.alloc(8)
+    mem.write_u64(a.base, value)
+    assert mem.read_u64(a.base) == value

@@ -1,0 +1,141 @@
+"""Property tests: RVMA placement and completion invariants.
+
+The paper's core correctness claim: because placement is offset-steered
+and completion is threshold-counted, *any* packet arrival order yields
+an identical final buffer, and completion fires exactly when the
+threshold is met — never before.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.buffer import HostBuffer, PostedBuffer
+from repro.memory.memory import NodeMemory
+from repro.nic.lut import EpochType, MailboxLUT
+
+
+def _chunks_strategy():
+    """A message split into chunks (offset, size) covering [0, size)."""
+    return st.integers(min_value=1, max_value=40).flatmap(
+        lambda n_chunks: st.integers(min_value=n_chunks, max_value=512).map(
+            lambda total: (total, n_chunks)
+        )
+    )
+
+
+def _split(total: int, n_chunks: int) -> list[tuple[int, int]]:
+    base = total // n_chunks
+    chunks = []
+    off = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < total % n_chunks else 0)
+        if size:
+            chunks.append((off, size))
+            off += size
+    return chunks
+
+
+class _MiniCompletionUnit:
+    """Direct harness over the LUT + counting logic (no event loop), so
+    hypothesis can hammer thousands of orderings quickly."""
+
+    def __init__(self, total: int, threshold_type: EpochType, threshold: int) -> None:
+        self.mem = NodeMemory()
+        self.lut = MailboxLUT()
+        self.entry = self.lut.init_entry(0x1, threshold_type)
+        buf = HostBuffer.allocate(self.mem, total)
+        self.posted = PostedBuffer(
+            buffer=buf, notification_addr=0, length_addr=0, threshold=threshold
+        )
+        self.lut.post(self.entry, self.posted)
+        self.completed_at_chunk: int | None = None
+
+    def arrive(self, index: int, off: int, data: bytes) -> None:
+        buf = self.entry.active
+        assert buf is self.posted, "buffer retired while chunks still arriving"
+        buf.buffer.write(off, data)
+        buf.bytes_received = max(buf.bytes_received, off + len(data))
+        if self.entry.threshold_type is EpochType.EPOCH_BYTES:
+            buf.counter += len(data)
+        else:
+            buf.counter += 1
+        if buf.counter >= buf.threshold and self.completed_at_chunk is None:
+            self.completed_at_chunk = index
+            self.lut.retire_active(self.entry)
+
+
+@given(
+    params=_chunks_strategy(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_any_arrival_order_reconstructs_payload_bytes(params, seed):
+    import random
+
+    total, n_chunks = params
+    chunks = _split(total, n_chunks)
+    payload = bytes((i * 131 + 7) % 256 for i in range(total))
+    order = list(range(len(chunks)))
+    random.Random(seed).shuffle(order)
+
+    unit = _MiniCompletionUnit(total, EpochType.EPOCH_BYTES, total)
+    for rank, idx in enumerate(order):
+        off, size = chunks[idx]
+        unit.arrive(rank, off, payload[off : off + size])
+
+    # Completion fired exactly at the LAST chunk, never earlier.
+    assert unit.completed_at_chunk == len(chunks) - 1
+    # And the reconstructed buffer is byte-exact regardless of order.
+    assert unit.posted.buffer.contents() == payload
+    assert unit.posted.bytes_received == total
+
+
+@given(
+    params=_chunks_strategy(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_ops_threshold_fires_exactly_at_nth_operation(params, seed):
+    import random
+
+    total, n_chunks = params
+    chunks = _split(total, n_chunks)
+    order = list(range(len(chunks)))
+    random.Random(seed).shuffle(order)
+
+    unit = _MiniCompletionUnit(total, EpochType.EPOCH_OPS, len(chunks))
+    for rank, idx in enumerate(order):
+        off, size = chunks[idx]
+        unit.arrive(rank, off, b"\xaa" * size)
+    assert unit.completed_at_chunk == len(chunks) - 1
+
+
+@given(
+    total=st.integers(min_value=2, max_value=512),
+    arrived_fraction=st.floats(min_value=0.01, max_value=0.99),
+)
+@settings(max_examples=100, deadline=None)
+def test_partial_arrival_never_completes(total, arrived_fraction):
+    arrived = max(1, min(total - 1, int(total * arrived_fraction)))
+    unit = _MiniCompletionUnit(total, EpochType.EPOCH_BYTES, total)
+    unit.arrive(0, 0, b"\x11" * arrived)
+    assert unit.completed_at_chunk is None
+    assert unit.entry.epoch == 0
+
+
+@given(n_epochs=st.integers(min_value=1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_epoch_counter_is_monotone_and_dense(n_epochs):
+    mem = NodeMemory()
+    lut = MailboxLUT(retain_epochs=64)
+    entry = lut.init_entry(0x2, EpochType.EPOCH_BYTES)
+    seen = []
+    for _ in range(n_epochs):
+        buf = HostBuffer.allocate(mem, 8)
+        lut.post(entry, PostedBuffer(buffer=buf, notification_addr=0,
+                                     length_addr=0, threshold=8))
+        record = lut.retire_active(entry)
+        seen.append(record.epoch)
+    assert seen == list(range(n_epochs))
+    assert entry.epoch == n_epochs

@@ -1,0 +1,103 @@
+"""Cross-validation: algorithmic routes vs networkx shortest paths.
+
+Every topology routes algebraically (no graph search) for speed; these
+tests rebuild each topology as a networkx graph and check the static
+route between node-bearing switches against the graph-shortest path.
+
+Contracts encoded here:
+
+* fat-tree D-mod-k, HyperX DOR and torus DOR are exactly shortest;
+* dragonfly L-G-L (the route real dragonfly tables install) is within
+  ONE hop of graph-shortest — for a small fraction of pairs a 2-hop
+  path exists through an intermediate group whose global links happen
+  to align, but hardware routes via the direct group-to-group link
+  anyway.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import Dragonfly, FatTree, HyperX, Torus3D, make_topology
+
+
+def _graph(topo) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(topo.n_switches))
+    g.add_edges_from(topo.links())
+    return g
+
+
+@pytest.mark.parametrize(
+    ("kind", "slack"),
+    [("dragonfly", 1), ("fattree", 0), ("hyperx", 0), ("torus3d", 0)],
+)
+def test_static_routes_are_shortest_paths_dense(kind, slack):
+    """Exhaustive check between node-bearing switches (the routing
+    contract covers endpoints, not switch-to-switch management paths)."""
+    topo = make_topology(kind, 32)
+    g = _graph(topo)
+    dist = dict(nx.all_pairs_shortest_path_length(g))
+    endpoints = sorted({topo.node_switch(n) for n in range(topo.n_nodes)})
+    exact = 0
+    total = 0
+    for s_sw in endpoints:
+        for d_sw in endpoints:
+            path = topo.static_path(s_sw, d_sw)
+            hops = len(path) - 1
+            total += 1
+            if hops == dist[s_sw][d_sw]:
+                exact += 1
+            assert dist[s_sw][d_sw] <= hops <= dist[s_sw][d_sw] + slack, (
+                f"{kind}: {s_sw}->{d_sw} static route of {hops} hops, "
+                f"graph shortest is {dist[s_sw][d_sw]}"
+            )
+    # Routes are shortest for the overwhelming majority of pairs even
+    # where slack is allowed (dragonfly: >=95%).
+    assert exact / total > 0.95
+
+
+@given(
+    a=st.integers(min_value=2, max_value=5),
+    h=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_dragonfly_minimal_routes_match_graph(a, h, data):
+    topo = Dragonfly(a=a, p=1, h=h)
+    g = _graph(topo)
+    s_sw = data.draw(st.integers(min_value=0, max_value=topo.n_switches - 1))
+    d_sw = data.draw(st.integers(min_value=0, max_value=topo.n_switches - 1))
+    path = topo.static_path(s_sw, d_sw)
+    shortest = nx.shortest_path_length(g, s_sw, d_sw)
+    # L-G-L is within one hop of graph-shortest (see module docstring).
+    assert shortest <= len(path) - 1 <= shortest + 1
+
+
+@given(
+    shape=st.tuples(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=2, max_value=5),
+    ),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_torus_dor_routes_match_graph(shape, data):
+    topo = Torus3D(shape=shape)
+    g = _graph(topo)
+    s_sw = data.draw(st.integers(min_value=0, max_value=topo.n_switches - 1))
+    d_sw = data.draw(st.integers(min_value=0, max_value=topo.n_switches - 1))
+    path = topo.static_path(s_sw, d_sw)
+    assert len(path) - 1 == nx.shortest_path_length(g, s_sw, d_sw)
+
+
+def test_reported_diameters_match_graph():
+    for kind, n in (("dragonfly", 64), ("fattree", 54), ("hyperx", 64), ("torus3d", 64)):
+        topo = make_topology(kind, n)
+        g = _graph(topo)
+        graph_diameter = nx.diameter(g)
+        # The topology's declared diameter bounds real shortest paths.
+        assert graph_diameter <= topo.diameter(), (kind, graph_diameter, topo.diameter())

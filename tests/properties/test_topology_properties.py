@@ -1,0 +1,94 @@
+"""Property tests: every topology routes every pair validly."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import Dragonfly, FatTree, HyperX, Torus3D
+
+
+@given(
+    a=st.integers(min_value=2, max_value=6),
+    p=st.integers(min_value=1, max_value=4),
+    h=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_dragonfly_routes_any_pair(a, p, h, data):
+    topo = Dragonfly(a=a, p=p, h=h)
+    src = data.draw(st.integers(min_value=0, max_value=topo.n_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=topo.n_nodes - 1))
+    ssw, dsw = topo.node_switch(src), topo.node_switch(dst)
+    static = topo.static_path(ssw, dsw)
+    topo.validate_path(static, ssw, dsw)
+    assert len(static) <= topo.diameter() + 1
+    for path in topo.candidate_paths(ssw, dsw):
+        topo.validate_path(path, ssw, dsw)
+
+
+@given(
+    k=st.sampled_from([4, 6, 8]),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_fattree_routes_any_pair(k, data):
+    topo = FatTree(k=k)
+    src = data.draw(st.integers(min_value=0, max_value=topo.n_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=topo.n_nodes - 1))
+    ssw, dsw = topo.node_switch(src), topo.node_switch(dst)
+    static = topo.static_path(ssw, dsw)
+    topo.validate_path(static, ssw, dsw)
+    assert len(static) <= 5
+    cands = topo.candidate_paths(ssw, dsw)
+    assert len({tuple(p) for p in cands}) == len(cands)  # no duplicates
+    for path in cands:
+        topo.validate_path(path, ssw, dsw)
+
+
+@given(
+    dims=st.lists(st.integers(min_value=2, max_value=5), min_size=1, max_size=3),
+    terminals=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_hyperx_routes_any_pair(dims, terminals, data):
+    topo = HyperX(dims=tuple(dims), terminals=terminals)
+    src = data.draw(st.integers(min_value=0, max_value=topo.n_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=topo.n_nodes - 1))
+    ssw, dsw = topo.node_switch(src), topo.node_switch(dst)
+    static = topo.static_path(ssw, dsw)
+    topo.validate_path(static, ssw, dsw)
+    # Minimal HyperX path corrects each mismatched dimension once.
+    mismatched = sum(
+        1 for s, d in zip(topo.coords(ssw), topo.coords(dsw)) if s != d
+    )
+    assert len(static) - 1 == mismatched
+    for path in topo.candidate_paths(ssw, dsw):
+        topo.validate_path(path, ssw, dsw)
+        assert len(path) - 1 == mismatched  # all candidates are minimal
+
+
+@given(
+    shape=st.tuples(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=2, max_value=6),
+    ),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_torus_routes_any_pair_within_diameter(shape, data):
+    topo = Torus3D(shape=shape)
+    src = data.draw(st.integers(min_value=0, max_value=topo.n_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=topo.n_nodes - 1))
+    ssw, dsw = topo.node_switch(src), topo.node_switch(dst)
+    static = topo.static_path(ssw, dsw)
+    topo.validate_path(static, ssw, dsw)
+    assert len(static) - 1 <= topo.diameter()
+    # DOR takes the shortest ring direction per dimension: hop count is
+    # exactly the sum of per-dimension ring distances.
+    expect = sum(
+        min((d - s) % n, (s - d) % n)
+        for s, d, n in zip(topo.coords(ssw), topo.coords(dsw), shape)
+    )
+    assert len(static) - 1 == expect

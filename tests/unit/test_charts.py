@@ -1,0 +1,66 @@
+"""Unit tests for the terminal chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import BAR_WIDTH, bar_chart, chart_for_result
+from repro.experiments.report import ExperimentResult
+
+
+def test_bar_lengths_proportional():
+    out = bar_chart(["a", "b"], [1.0, 2.0])
+    line_a, line_b = out.splitlines()
+    assert line_b.count("█") == pytest.approx(2 * line_a.count("█"), abs=1)
+    assert line_b.count("█") == BAR_WIDTH
+
+
+def test_reference_marker_and_legend():
+    out = bar_chart(["x"], [1.0], reference=2.0, reference_label="paper")
+    assert "┊" in out
+    assert "paper 2.00" in out
+
+
+def test_title_and_units():
+    out = bar_chart(["only"], [3.5], title="T", unit="x")
+    assert out.startswith("T\n")
+    assert "3.50x" in out
+
+
+def test_mismatched_inputs_rejected():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+
+
+def test_empty_chart_is_safe():
+    assert bar_chart([], [], title="empty") == "empty"
+
+
+def test_zero_values_render():
+    out = bar_chart(["z"], [0.0])
+    assert "0.00" in out
+
+
+def _result(name, rows, claims=None):
+    return ExperimentResult(
+        name=name, title="t", headers=["a", "b", "c", "d", "e", "f"],
+        rows=rows, paper_claims=claims or {},
+    )
+
+
+def test_chart_for_latency_figures():
+    r = _result("fig4", [[2, 800, 2100, 63.0, 2.7]], {"max_reduction_pct": 65.8})
+    out = chart_for_result(r)
+    assert "2B" in out and "63.00%" in out and "65.80%" in out
+
+
+def test_chart_for_motif_figures():
+    r = _result("fig7", [["dragonfly", "adaptive", "2Tbps", 1, 4, 4.1]],
+                {"avg_speedup": 3.56})
+    out = chart_for_result(r)
+    assert "dragonfly/adaptive/2Tbps" in out and "4.10x" in out
+
+
+def test_chart_for_fig6_and_generic():
+    r6 = _result("fig6", [[16, 9000, 1000, 305, 2500, 117]])
+    assert "305" in chart_for_result(r6)
+    generic = _result("ablation-lut", [["gen4", 1000, 1400, 400, 40.0]])
+    assert "gen4" in chart_for_result(generic)

@@ -1,0 +1,227 @@
+"""Unit tests for routing policy and both fabric fidelities."""
+
+import pytest
+
+from repro.network import (
+    FlowFabric,
+    MTU,
+    NetworkConfig,
+    PacketFabric,
+    RoutingMode,
+    choose_path,
+    make_topology,
+)
+from repro.sim import Simulator
+from repro.units import gbps
+
+
+# --- routing policy -----------------------------------------------------------
+
+
+def test_static_always_first_candidate():
+    cands = [[0, 1], [0, 2, 1], [0, 3, 1]]
+    choice = choose_path(cands, RoutingMode.STATIC, lambda p: 0.0, lambda n: n - 1)
+    assert choice.path == [0, 1] and choice.index == 0
+
+
+def test_adaptive_prefers_low_load():
+    cands = [[0, 1], [0, 2, 1]]
+    loads = {(0, 1): 1000.0, (0, 2, 1): 10.0}
+    choice = choose_path(
+        cands, RoutingMode.ADAPTIVE, lambda p: loads[tuple(p)], lambda n: 0
+    )
+    assert choice.path == [0, 2, 1]
+
+
+def test_adaptive_randomizes_among_near_equal():
+    cands = [[0, 1], [0, 2, 1], [0, 3, 1]]
+    picks = set()
+    for k in range(3):
+        choice = choose_path(
+            cands, RoutingMode.ADAPTIVE, lambda p: 5.0, lambda n, k=k: k % n
+        )
+        picks.add(choice.index)
+    assert len(picks) > 1
+
+
+def test_empty_candidates_rejected():
+    with pytest.raises(ValueError):
+        choose_path([], RoutingMode.STATIC, lambda p: 0.0, lambda n: 0)
+
+
+def test_routing_mode_ordered_property():
+    assert RoutingMode.STATIC.ordered
+    assert not RoutingMode.ADAPTIVE.ordered
+
+
+# --- flow fabric -----------------------------------------------------------------
+
+
+def _flow(n=4, **cfg):
+    sim = Simulator()
+    topo = make_topology("star", n)
+    fab = FlowFabric(sim, topo, NetworkConfig(**cfg))
+    return sim, fab
+
+
+def test_flow_delivery_time_matches_model():
+    sim, fab = _flow(link_bw=gbps(80), injection_latency=10.0, switch_latency=100.0)
+    got = []
+    fab.attach(1, got.append)
+    msg = fab.send(0, 1, 10000)
+    sim.run()
+    d = got[0]
+    ser = msg.wire_size / gbps(80)
+    # inj(10+100 switch) + eject(10) then serialization once (cut-through).
+    assert d.info.arrival_time == pytest.approx(120.0 + ser)
+
+
+def test_flow_injection_serializes_back_to_back_sends():
+    sim, fab = _flow(link_bw=gbps(8))  # 1 B/ns
+    got = []
+    fab.attach(1, got.append)
+    fab.send(0, 1, 1000)
+    fab.send(0, 1, 1000)
+    sim.run()
+    t1, t2 = [d.info.arrival_time for d in got]
+    wire = 1000 + 30  # + header
+    # The second message queues behind the first's serialization (plus
+    # at most the re-charged channel latency of the queueing point).
+    assert wire <= t2 - t1 <= wire + 150.0
+
+
+def test_flow_distinct_sources_do_not_serialize_on_injection():
+    sim, fab = _flow(link_bw=gbps(8))
+    got = []
+    fab.attach(3, got.append)
+    fab.send(0, 3, 1000)
+    fab.send(1, 3, 1000)
+    sim.run()
+    t1, t2 = sorted(d.info.arrival_time for d in got)
+    # They collide only on node 3's ejection channel, so the gap is one
+    # serialization (plus at most the re-charged ejection latency) —
+    # NOT two serializations as same-source sends would pay.
+    ser = (1000 + 30) / gbps(8)
+    assert ser <= t2 - t1 <= ser + 50.0
+
+
+def test_flow_requires_attached_handler():
+    sim, fab = _flow()
+    fab.send(0, 1, 100)
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_flow_duplicate_attach_rejected():
+    _sim, fab = _flow()
+    fab.attach(0, lambda d: None)
+    with pytest.raises(ValueError):
+        fab.attach(0, lambda d: None)
+
+
+def test_flow_static_ordering_preserved_per_pair():
+    sim = Simulator()
+    topo = make_topology("dragonfly", 16)
+    fab = FlowFabric(sim, topo, NetworkConfig(routing=RoutingMode.STATIC))
+    got = []
+    fab.attach(9, lambda d: got.append(d.message.msg_id))
+    sent = [fab.send(0, 9, 5000).msg_id for _ in range(10)]
+    sim.run()
+    assert got == sent
+
+
+def test_flow_injection_busy_until_advances():
+    sim, fab = _flow(link_bw=gbps(8))
+    fab.attach(1, lambda d: None)
+    assert fab.injection_busy_until(0) == 0.0
+    fab.send(0, 1, 1000)
+    assert fab.injection_busy_until(0) > 0.0
+
+
+# --- packet fabric ---------------------------------------------------------------
+
+
+def test_packet_fragments_and_delivers_all():
+    sim = Simulator()
+    fab = PacketFabric(sim, make_topology("star", 2))
+    got = []
+    fab.attach(1, got.append)
+    size = int(MTU * 2.5)
+    fab.send(0, 1, size, data=bytes(size))
+    sim.run()
+    assert len(got) == 3
+    assert sum(d.packet.size for d in got) == size
+
+
+def test_packet_static_delivers_in_order():
+    sim = Simulator()
+    fab = PacketFabric(
+        sim, make_topology("fattree", 16), NetworkConfig(routing=RoutingMode.STATIC)
+    )
+    got = []
+    fab.attach(15, lambda d: got.append(d.packet.seq))
+    fab.send(0, 15, MTU * 6)
+    sim.run()
+    assert got == sorted(got)
+
+
+def test_packet_adaptive_can_reorder():
+    sim = Simulator()
+    fab = PacketFabric(
+        sim, make_topology("fattree", 16), NetworkConfig(routing=RoutingMode.ADAPTIVE)
+    )
+    got = []
+    fab.attach(15, lambda d: got.append(d.packet.seq))
+    for _ in range(3):
+        fab.send(0, 15, MTU * 8)
+    sim.run()
+    assert len(got) == 24
+    # With per-packet path choice across distinct up-paths, arrival
+    # order differs from send order.
+    assert got != sorted(got)
+
+
+def test_packet_switch_forward_counts():
+    sim = Simulator()
+    fab = PacketFabric(sim, make_topology("star", 2))
+    fab.attach(1, lambda d: None)
+    fab.send(0, 1, 100)
+    sim.run()
+    assert fab.switches[0].packets_forwarded == 1
+    assert fab.packets_delivered == 1
+
+
+def test_fault_filter_drops_deliveries():
+    sim, fab = _flow()
+    got = []
+    fab.attach(1, got.append)
+    fab.fault_filter = lambda d: True
+    fab.send(0, 1, 100)
+    sim.run()
+    assert got == [] and fab.deliveries_dropped == 1
+
+
+def test_network_config_validation():
+    with pytest.raises(ValueError):
+        NetworkConfig(link_bw=0.0)
+    with pytest.raises(ValueError):
+        NetworkConfig(crossbar_factor=0.5)
+    cfg = NetworkConfig()
+    assert cfg.crossbar_bw == pytest.approx(1.5 * cfg.link_bw)
+    assert cfg.with_(link_bw=gbps(400)).link_bw == gbps(400)
+
+
+def test_channel_labels_and_hottest_channels():
+    sim = Simulator()
+    topo = make_topology("fattree", 16)
+    fab = FlowFabric(sim, topo, NetworkConfig(routing=RoutingMode.STATIC))
+    fab.attach(15, lambda d: None)
+    for _ in range(3):
+        fab.send(0, 15, 10000)
+    sim.run()
+    hottest = fab.hottest_channels(5)
+    assert hottest[0][1] >= hottest[-1][1] > 0
+    labels = [name for name, _ in hottest]
+    assert any(l.startswith("inject[node0]") for l in labels)
+    assert any(l.startswith("eject[node15]") for l in labels)
+    assert any(l.startswith("link[sw") for l in labels)

@@ -1,0 +1,164 @@
+"""Unit tests for the RVMA mailbox lookup table."""
+
+import pytest
+
+from repro.memory.buffer import HostBuffer, PostedBuffer
+from repro.memory.memory import NodeMemory
+from repro.nic.lut import (
+    BufferMode,
+    EpochType,
+    LutError,
+    MailboxLUT,
+)
+
+
+def _posted(mem, size=64):
+    buf = HostBuffer.allocate(mem, size)
+    return PostedBuffer(buffer=buf, notification_addr=0, length_addr=8, threshold=size)
+
+
+@pytest.fixture
+def mem():
+    return NodeMemory()
+
+
+def test_init_and_single_probe_lookup(mem):
+    lut = MailboxLUT()
+    entry = lut.init_entry(0xABC, EpochType.EPOCH_BYTES)
+    assert lut.lookup(0xABC) is entry
+    assert lut.lookup(0xDEF) is None
+    assert lut.lookups == 2
+
+
+def test_duplicate_init_rejected(mem):
+    lut = MailboxLUT()
+    lut.init_entry(1, EpochType.EPOCH_BYTES)
+    with pytest.raises(LutError):
+        lut.init_entry(1, EpochType.EPOCH_BYTES)
+
+
+def test_closed_window_can_be_reopened(mem):
+    lut = MailboxLUT()
+    entry = lut.init_entry(1, EpochType.EPOCH_BYTES)
+    entry.closed = True
+    reopened = lut.init_entry(1, EpochType.EPOCH_OPS, BufferMode.MANAGED)
+    assert reopened is entry
+    assert not reopened.closed
+    assert reopened.threshold_type is EpochType.EPOCH_OPS
+    assert reopened.mode is BufferMode.MANAGED
+
+
+def test_capacity_bounded(mem):
+    lut = MailboxLUT(max_entries=2)
+    lut.init_entry(1, EpochType.EPOCH_BYTES)
+    lut.init_entry(2, EpochType.EPOCH_BYTES)
+    with pytest.raises(LutError):
+        lut.init_entry(3, EpochType.EPOCH_BYTES)
+
+
+def test_mailbox_addresses_masked_to_64_bits(mem):
+    lut = MailboxLUT()
+    entry = lut.init_entry(2 ** 70 + 5, EpochType.EPOCH_BYTES)
+    assert lut.lookup(5) is entry  # 2**70 wraps away
+
+
+def test_post_activates_head_buffer_only(mem):
+    lut = MailboxLUT()
+    entry = lut.init_entry(1, EpochType.EPOCH_BYTES)
+    b1, b2 = _posted(mem), _posted(mem)
+    lut.post(entry, b1)
+    lut.post(entry, b2)
+    assert entry.active is b1
+    assert b1.epoch == 0 and b2.epoch == -1  # b2 not yet activated
+    assert lut.counters_in_use == 1
+
+
+def test_retire_advances_epoch_and_activates_next(mem):
+    lut = MailboxLUT()
+    entry = lut.init_entry(1, EpochType.EPOCH_BYTES)
+    b1, b2 = _posted(mem), _posted(mem)
+    lut.post(entry, b1)
+    lut.post(entry, b2)
+    b1.bytes_received = 64
+    record = lut.retire_active(entry)
+    assert record.head_addr == b1.buffer.addr
+    assert record.length == 64
+    assert record.epoch == 0
+    assert entry.epoch == 1
+    assert entry.active is b2 and b2.epoch == 1
+    assert b1.completed
+
+
+def test_counter_pool_spills_when_exhausted(mem):
+    lut = MailboxLUT(max_counters=1)
+    e1 = lut.init_entry(1, EpochType.EPOCH_BYTES)
+    e2 = lut.init_entry(2, EpochType.EPOCH_BYTES)
+    lut.post(e1, _posted(mem))
+    lut.post(e2, _posted(mem))
+    assert not e1.counter_spilled
+    assert e2.counter_spilled
+    assert lut.spill_events == 1
+    # Retiring e1's buffer frees a counter for the next activation.
+    e1.queue[0].bytes_received = 64
+    lut.retire_active(e1)
+    lut.post(e1, _posted(mem))
+    assert not e1.counter_spilled  # got the freed counter
+
+
+def test_retired_history_bounded(mem):
+    lut = MailboxLUT(retain_epochs=2)
+    entry = lut.init_entry(1, EpochType.EPOCH_BYTES)
+    for _ in range(5):
+        lut.post(entry, _posted(mem))
+        lut.retire_active(entry)
+    assert len(entry.retired) == 2
+    assert [r.epoch for r in entry.retired] == [3, 4]
+
+
+def test_rewind_fetches_past_epochs(mem):
+    lut = MailboxLUT(retain_epochs=4)
+    entry = lut.init_entry(1, EpochType.EPOCH_BYTES)
+    buffers = []
+    for _ in range(3):
+        b = _posted(mem)
+        buffers.append(b)
+        lut.post(entry, b)
+        lut.retire_active(entry)
+    assert lut.rewind(entry, 1).buffer is buffers[2]
+    assert lut.rewind(entry, 3).buffer is buffers[0]
+    assert lut.rewind(entry, 4) is None
+    assert lut.rewind(entry, 0) is None
+
+
+def test_remove_releases_counter(mem):
+    lut = MailboxLUT()
+    entry = lut.init_entry(1, EpochType.EPOCH_BYTES)
+    lut.post(entry, _posted(mem))
+    assert lut.counters_in_use == 1
+    lut.remove(1)
+    assert lut.counters_in_use == 0
+    assert lut.lookup(1) is None
+
+
+def test_memory_footprint_model(mem):
+    lut = MailboxLUT()
+    e = lut.init_entry(1, EpochType.EPOCH_BYTES)
+    assert lut.memory_bytes() == 24
+    lut.post(e, _posted(mem))
+    assert lut.memory_bytes() == 24 + 8
+
+
+def test_catch_all_assignment(mem):
+    lut = MailboxLUT()
+    e = lut.init_entry(0xFFFF, EpochType.EPOCH_OPS)
+    lut.set_catch_all(e)
+    assert lut.catch_all is e
+    lut.set_catch_all(None)
+    assert lut.catch_all is None
+
+
+def test_invalid_sizing_rejected():
+    with pytest.raises(ValueError):
+        MailboxLUT(max_entries=0)
+    with pytest.raises(ValueError):
+        MailboxLUT(max_counters=-1)

@@ -1,0 +1,160 @@
+"""Unit tests for the coroutine process layer."""
+
+import pytest
+
+from repro.sim import AllOf, Future, SimProcess, Simulator, spawn
+
+
+def test_sleep_advances_time():
+    sim = Simulator()
+
+    def proc():
+        yield 10.0
+        yield 5
+        return sim.now
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.finished and p.result == 15.0
+
+
+def test_future_wait_receives_value():
+    sim = Simulator()
+    fut = Future(sim)
+
+    def proc():
+        value = yield fut
+        return value
+
+    p = spawn(sim, proc())
+    sim.schedule(7.0, fut.resolve, "payload")
+    sim.run()
+    assert p.result == "payload"
+    assert sim.now == 7.0
+
+
+def test_wait_on_already_resolved_future():
+    sim = Simulator()
+    fut = Future(sim)
+    fut.resolve(99)
+
+    def proc():
+        value = yield fut
+        return value
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.result == 99
+
+
+def test_double_resolve_raises():
+    sim = Simulator()
+    fut = Future(sim)
+    fut.resolve(1)
+    with pytest.raises(RuntimeError):
+        fut.resolve(2)
+
+
+def test_allof_collects_values_in_order():
+    sim = Simulator()
+    futs = [Future(sim) for _ in range(3)]
+
+    def proc():
+        values = yield AllOf(futs)
+        return values
+
+    p = spawn(sim, proc())
+    # Resolve out of order; values must come back in declaration order.
+    sim.schedule(3.0, futs[2].resolve, "c")
+    sim.schedule(1.0, futs[0].resolve, "a")
+    sim.schedule(2.0, futs[1].resolve, "b")
+    sim.run()
+    assert p.result == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_allof_empty_resolves_immediately():
+    sim = Simulator()
+
+    def proc():
+        values = yield AllOf([])
+        return values
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.result == []
+
+
+def test_process_waits_on_subprocess():
+    sim = Simulator()
+
+    def child():
+        yield 20.0
+        return "done"
+
+    def parent():
+        c = spawn(sim, child())
+        result = yield c
+        return result
+
+    p = spawn(sim, parent())
+    sim.run()
+    assert p.result == "done"
+    assert sim.now == 20.0
+
+
+def test_yield_from_subgenerator():
+    sim = Simulator()
+
+    def inner():
+        yield 5.0
+        return 42
+
+    def outer():
+        value = yield from inner()
+        yield 5.0
+        return value + 1
+
+    p = spawn(sim, outer())
+    sim.run()
+    assert p.result == 43
+    assert sim.now == 10.0
+
+
+def test_unsupported_yield_type_raises():
+    sim = Simulator()
+
+    def proc():
+        yield "not-a-waitable"
+
+    spawn(sim, proc())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_exception_in_process_propagates():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+        raise ValueError("boom")
+
+    spawn(sim, proc())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_done_future_multiple_waiters():
+    sim = Simulator()
+    fut = Future(sim)
+    seen = []
+
+    def waiter(label):
+        value = yield fut
+        seen.append((label, value))
+
+    spawn(sim, waiter("a"))
+    spawn(sim, waiter("b"))
+    sim.schedule(4.0, fut.resolve, 7)
+    sim.run()
+    assert sorted(seen) == [("a", 7), ("b", 7)]

@@ -1,0 +1,233 @@
+"""Unit tests for RNG streams, stats, tracing, links and units."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    Component,
+    Link,
+    RngRegistry,
+    SerializingLink,
+    Simulator,
+    Tracer,
+)
+from repro.units import (
+    fmt_bytes,
+    fmt_gbps,
+    fmt_time,
+    gbps,
+    kib,
+    mib,
+    ns,
+    seconds,
+    serialization_ns,
+    us,
+)
+
+
+# --- RNG --------------------------------------------------------------------
+
+
+def test_rng_same_seed_same_stream():
+    a = RngRegistry(7).stream("x").random(8)
+    b = RngRegistry(7).stream("x").random(8)
+    assert np.allclose(a, b)
+
+
+def test_rng_streams_independent_of_creation_order():
+    r1 = RngRegistry(7)
+    _ = r1.stream("a").random(100)
+    x1 = r1.stream("b").random(4)
+    r2 = RngRegistry(7)
+    x2 = r2.stream("b").random(4)
+    assert np.allclose(x1, x2)
+
+
+def test_rng_choice_bounds():
+    r = RngRegistry(1)
+    assert r.choice("c", 1) == 0
+    for _ in range(50):
+        assert 0 <= r.choice("c", 5) < 5
+    with pytest.raises(ValueError):
+        r.choice("c", 0)
+
+
+def test_rng_shuffled_is_permutation():
+    r = RngRegistry(2)
+    items = list(range(10))
+    shuffled = r.shuffled("s", items)
+    assert sorted(shuffled) == items
+
+
+# --- stats -----------------------------------------------------------------
+
+
+def test_counter_and_registry():
+    sim = Simulator()
+    sim.stats.counter("a.x").add(3)
+    sim.stats.counter("a.x").add()
+    sim.stats.counter("b.y").add(2)
+    assert sim.stats.counters("a") == {"a.x": 4}
+    assert "a.x: 4" in sim.stats.report()
+
+
+def test_summary_matches_numpy():
+    sim = Simulator()
+    data = [3.0, 1.5, 9.2, -4.0, 2.25, 8.0]
+    s = sim.stats.summary("lat")
+    for x in data:
+        s.add(x)
+    assert s.n == len(data)
+    assert s.mean == pytest.approx(np.mean(data))
+    assert s.stddev == pytest.approx(np.std(data, ddof=1))
+    assert s.min == min(data) and s.max == max(data)
+    assert s.total == pytest.approx(sum(data))
+
+
+def test_summary_empty_is_safe():
+    sim = Simulator()
+    s = sim.stats.summary("empty")
+    assert s.mean == 0.0 and s.variance == 0.0
+
+
+def test_histogram_buckets():
+    sim = Simulator()
+    h = sim.stats.histogram("h", lo=0.0, hi=10.0, nbins=10)
+    for x in [0.5, 1.5, 1.6, 9.99, -1.0, 10.0, 25.0]:
+        h.add(x)
+    assert h.bins[0] == 1 and h.bins[1] == 2 and h.bins[9] == 1
+    assert h.underflow == 1 and h.overflow == 2
+    assert h.count == 7
+    assert len(h.bin_edges()) == 11
+
+
+def test_histogram_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.stats.histogram("bad", lo=5.0, hi=5.0)
+
+
+# --- trace ------------------------------------------------------------------
+
+
+def test_tracer_disabled_records_nothing():
+    t = Tracer(enabled=False)
+    t.record("cat", "msg")
+    assert len(t) == 0
+
+
+def test_tracer_filtering():
+    now = [0.0]
+    t = Tracer(enabled=True, clock=lambda: now[0])
+    t.record("nic0", "put sent", size=8)
+    now[0] = 5.0
+    t.record("nic1", "put received")
+    t.record("nic1", "completion written")
+    assert len(t.filter("nic1")) == 2
+    assert len(t.filter(contains="completion")) == 1
+    assert t.filter("nic0")[0].fields == {"size": 8}
+    assert "put sent" in t.dump()
+
+
+# --- links ------------------------------------------------------------------
+
+
+class _Probe(Component):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.got = []
+        self.port = self.add_port("p", lambda payload: self.got.append((self.sim.now, payload)))
+
+
+def test_plain_link_delivers_after_latency():
+    sim = Simulator()
+    a, b = _Probe(sim, "a"), _Probe(sim, "b")
+    Link(sim, a.port, b.port, latency=25.0)
+    a.port.send("hello")
+    sim.run()
+    assert b.got == [(25.0, "hello")]
+
+
+def test_serializing_link_fifo_and_bandwidth():
+    sim = Simulator()
+    a, b = _Probe(sim, "a"), _Probe(sim, "b")
+    link = SerializingLink(sim, a.port, b.port, latency=10.0, bandwidth=2.0)  # 2 B/ns
+    a.port.send("m1", size_bytes=100)  # tail at 50
+    a.port.send("m2", size_bytes=100)  # tail at 100
+    sim.run()
+    assert [t for t, _ in b.got] == [60.0, 110.0]
+    assert link.bytes_carried == 200
+
+
+def test_serializing_link_full_duplex():
+    sim = Simulator()
+    a, b = _Probe(sim, "a"), _Probe(sim, "b")
+    SerializingLink(sim, a.port, b.port, latency=10.0, bandwidth=1.0)
+    a.port.send("x", size_bytes=50)
+    b.port.send("y", size_bytes=50)
+    sim.run()
+    # Opposite directions do not serialize against each other.
+    assert b.got[0][0] == 60.0 and a.got[0][0] == 60.0
+
+
+def test_port_misuse_raises():
+    sim = Simulator()
+    a, b, c = _Probe(sim, "a"), _Probe(sim, "b"), _Probe(sim, "c")
+    link = SerializingLink(sim, a.port, b.port, latency=1.0, bandwidth=1.0)
+    with pytest.raises(ValueError):
+        c.port.send("nope")  # unconnected
+    with pytest.raises(ValueError):
+        link.transmit(c.port, "nope")  # not an endpoint
+    with pytest.raises(ValueError):
+        a.port.connect(link)  # already connected
+
+
+# --- units ------------------------------------------------------------------
+
+
+def test_unit_conversions():
+    assert us(1) == 1000.0
+    assert seconds(1) == 1e9
+    assert ns(5) == 5.0
+    assert kib(2) == 2048
+    assert mib(1) == 1024 * 1024
+    assert gbps(100) == 12.5  # bytes/ns
+    assert serialization_ns(1250, gbps(100)) == pytest.approx(100.0)
+
+
+def test_serialization_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        serialization_ns(10, 0.0)
+
+
+def test_formatting():
+    assert fmt_time(12.3) == "12.3ns"
+    assert fmt_time(4500) == "4.500us"
+    assert fmt_time(3.2e6) == "3.200ms"
+    assert fmt_time(2.5e9) == "2.500s"
+    assert fmt_bytes(512) == "512B"
+    assert fmt_bytes(2048) == "2.0KiB"
+    assert fmt_bytes(3 * 1024 * 1024) == "3.0MiB"
+    assert fmt_gbps(gbps(100)) == "100Gbps"
+    assert fmt_gbps(gbps(2000)) == "2Tbps"
+
+
+def test_chrome_trace_export(tmp_path):
+    now = [0.0]
+    t = Tracer(enabled=True, clock=lambda: now[0])
+    t.record("nic0", "put_placed", n=64)
+    now[0] = 1500.0
+    t.record("nic1", "completion_written", epoch=0)
+    events = t.to_chrome_trace()
+    assert len(events) == 2
+    assert events[0]["tid"] == "nic0" and events[0]["ts"] == 0.0
+    assert events[1]["ts"] == 1.5  # ns -> us
+    assert events[1]["args"] == {"epoch": 0}
+    out = tmp_path / "trace.json"
+    assert t.save_chrome_trace(str(out)) == 2
+    import json
+
+    data = json.loads(out.read_text())
+    assert len(data["traceEvents"]) == 2

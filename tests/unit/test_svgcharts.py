@@ -1,0 +1,58 @@
+"""Unit tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.svgcharts import bar_chart, line_chart_logx, svg_for_result
+
+
+def _parse(svg: str):
+    return ET.fromstring(svg)  # raises on malformed XML
+
+
+def test_line_chart_is_valid_svg_with_series():
+    svg = line_chart_logx(
+        [2, 64, 1024], {"a": [1, 2, 3], "b": [3, 2, 1]},
+        "T", "x", "y", reference=2.5,
+    )
+    root = _parse(svg)
+    assert root.tag.endswith("svg")
+    polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+    assert len(polylines) == 2
+    assert "paper 2.5" in svg
+
+
+def test_bar_chart_is_valid_svg_with_bars():
+    svg = bar_chart(["a/b", "c/d"], [1.5, 2.5], "T", "speedup", reference=2.0)
+    root = _parse(svg)
+    rects = [e for e in root.iter() if e.tag.endswith("rect")]
+    assert len(rects) == 3  # background + 2 bars
+    assert "2.50" in svg
+
+
+def test_charts_validate_inputs():
+    with pytest.raises(ValueError):
+        line_chart_logx([], {}, "T", "x", "y")
+    with pytest.raises(ValueError):
+        bar_chart([], [], "T", "y")
+
+
+def _result(name, rows, claims=None):
+    return ExperimentResult(name=name, title="t", headers=["x"] * 6, rows=rows,
+                            paper_claims=claims or {})
+
+
+def test_svg_for_each_figure_shape():
+    fig4 = _result("fig4", [[2, 800, 2100, 63.0, 2.7], [64, 820, 2120, 61.0, 2.6]])
+    assert "polyline" in svg_for_result(fig4)
+    fig7 = _result("fig7", [["dragonfly", "adaptive", "2Tbps", 1, 4, 4.1]],
+                   {"avg_speedup": 3.56})
+    svg7 = svg_for_result(fig7)
+    assert "dragonfly/adaptive/2Tbps" in svg7 and "3.56" in svg7
+    fig6 = _result("fig6", [[16, 9000, 900, 305, 2500, 117],
+                            [4096, 9500, 2800, 120, 4400, 77]])
+    assert "amortize" in svg_for_result(fig6)
+    generic = _result("ablation-x", [["gen4", 400.0]])
+    _parse(svg_for_result(generic))

@@ -1,0 +1,211 @@
+"""Unit tests for the interconnect topologies."""
+
+import pytest
+
+from repro.network.topology import (
+    Dragonfly,
+    FatTree,
+    HyperX,
+    Star,
+    Torus3D,
+    make_topology,
+)
+
+ALL_KINDS = ("dragonfly", "fattree", "hyperx", "torus3d")
+
+
+def _check_all_pairs(topo, pairs):
+    for s, d in pairs:
+        ssw, dsw = topo.node_switch(s), topo.node_switch(d)
+        static = topo.static_path(ssw, dsw)
+        topo.validate_path(static, ssw, dsw)
+        assert len(static) - 1 <= topo.diameter() or ssw == dsw
+        cands = topo.candidate_paths(ssw, dsw)
+        assert cands, "adaptive candidates must be non-empty"
+        for path in cands:
+            topo.validate_path(path, ssw, dsw)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@pytest.mark.parametrize("n", [8, 64, 200])
+def test_factory_builds_and_routes(kind, n):
+    topo = make_topology(kind, n)
+    assert topo.n_nodes == n
+    pairs = [(0, n - 1), (1, n // 2), (n // 3, n // 3), (n - 1, 0)]
+    _check_all_pairs(topo, pairs)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_neighbor_symmetry(kind):
+    topo = make_topology(kind, 64)
+    for sw in range(topo.n_switches):
+        for nb in topo.switch_neighbors(sw):
+            assert sw in topo.switch_neighbors(nb), f"{sw}<->{nb} asymmetric"
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_node_switch_in_range(kind):
+    topo = make_topology(kind, 64)
+    for node in range(topo.n_nodes):
+        assert 0 <= topo.node_switch(node) < topo.n_switches
+    with pytest.raises(ValueError):
+        topo.node_switch(64)
+    with pytest.raises(ValueError):
+        topo.node_switch(-1)
+
+
+# --- dragonfly -----------------------------------------------------------------
+
+
+def test_dragonfly_structure():
+    df = Dragonfly(a=4, p=2, h=2)
+    assert df.groups == 9
+    assert df.n_switches == 36
+    assert df.n_nodes == 72
+    # Each switch: a-1 intra neighbours + h global.
+    for sw in range(df.n_switches):
+        assert len(df.switch_neighbors(sw)) == (df.a - 1) + df.h
+
+
+def test_dragonfly_global_link_is_mutual():
+    df = Dragonfly(a=4, p=2, h=2)
+    for g1 in range(df.groups):
+        for g2 in range(df.groups):
+            if g1 == g2:
+                continue
+            out = df._global_link_owner(g1, g2)
+            back = df._global_link_owner(g2, g1)
+            assert back in df.switch_neighbors(out)
+
+
+def test_dragonfly_minimal_path_is_lgl():
+    df = Dragonfly(a=4, p=2, h=2)
+    path = df.static_path(0, df.n_switches - 1)
+    assert len(path) <= 4  # L-G-L touches at most 4 switches
+
+
+def test_dragonfly_valiant_paths_differ_from_minimal():
+    df = Dragonfly(a=4, p=2, h=2)
+    src, dst = 0, df.n_switches - 1
+    cands = df.candidate_paths(src, dst)
+    assert len(cands) > 1
+    assert any(len(p) > len(cands[0]) for p in cands[1:])
+
+
+def test_dragonfly_capacity_check():
+    with pytest.raises(ValueError):
+        Dragonfly(a=2, p=1, h=1, n_nodes=1000)
+
+
+# --- fat-tree --------------------------------------------------------------------
+
+
+def test_fattree_structure():
+    ft = FatTree(k=4)
+    assert ft.n_nodes == 16
+    assert ft.n_edge == 8 and ft.n_agg == 8 and ft.n_core == 4
+    # Core switches link to one agg per pod.
+    core0 = ft.core_id(0)
+    assert len(ft.switch_neighbors(core0)) == ft.n_pods
+
+
+def test_fattree_same_pod_two_hops():
+    ft = FatTree(k=4)
+    # nodes 0 and 2 are in the same pod, different edge switches
+    s, d = ft.node_switch(0), ft.node_switch(2)
+    assert s != d and ft.pod_of_edge(s) == ft.pod_of_edge(d)
+    path = ft.static_path(s, d)
+    assert len(path) == 3  # edge-agg-edge
+
+
+def test_fattree_cross_pod_four_hops():
+    ft = FatTree(k=4)
+    s, d = ft.node_switch(0), ft.node_switch(15)
+    path = ft.static_path(s, d)
+    assert len(path) == 5  # edge-agg-core-agg-edge
+    assert ft.is_core(path[2])
+
+
+def test_fattree_dmodk_converges_per_destination():
+    ft = FatTree(k=4)
+    d = ft.node_switch(15)
+    paths = [ft.static_path(ft.node_switch(s), d) for s in (0, 2, 4, 6)]
+    # All static routes to one destination use the same core (D-mod-k).
+    cores = {p[2] for p in paths if len(p) == 5}
+    assert len(cores) == 1
+
+
+def test_fattree_odd_k_rejected():
+    with pytest.raises(ValueError):
+        FatTree(k=3)
+
+
+# --- hyperx --------------------------------------------------------------------
+
+
+def test_hyperx_coords_roundtrip():
+    hx = HyperX(dims=(4, 5), terminals=2)
+    for sw in range(hx.n_switches):
+        assert hx.switch_id(hx.coords(sw)) == sw
+
+
+def test_hyperx_dor_corrects_dims_in_order():
+    hx = HyperX(dims=(4, 4), terminals=1)
+    src = hx.switch_id((0, 0))
+    dst = hx.switch_id((3, 2))
+    path = hx.static_path(src, dst)
+    assert path == [src, hx.switch_id((3, 0)), dst]
+
+
+def test_hyperx_candidates_cover_dim_orders():
+    hx = HyperX(dims=(4, 4), terminals=1)
+    src, dst = hx.switch_id((0, 0)), hx.switch_id((3, 2))
+    cands = hx.candidate_paths(src, dst)
+    assert len(cands) == 2  # two dimension orders
+    assert all(len(p) == 3 for p in cands)
+
+
+def test_hyperx_diameter_is_dims():
+    assert HyperX(dims=(4, 4, 4), terminals=1).diameter() == 3
+
+
+# --- torus -----------------------------------------------------------------------
+
+
+def test_torus_wraparound_shortest_direction():
+    t = Torus3D(shape=(8, 4, 4))
+    src = t.switch_id((0, 0, 0))
+    dst = t.switch_id((7, 0, 0))
+    path = t.static_path(src, dst)
+    assert len(path) == 2  # wraps around: 1 hop, not 7
+
+
+def test_torus_path_length_bounded_by_diameter():
+    t = Torus3D(shape=(6, 6, 6))
+    src = t.switch_id((0, 0, 0))
+    dst = t.switch_id((3, 3, 3))
+    path = t.static_path(src, dst)
+    assert len(path) - 1 == 9 == t.diameter()
+
+
+def test_torus_size_two_ring_dedupes_neighbors():
+    t = Torus3D(shape=(2, 2, 2))
+    for sw in range(t.n_switches):
+        nbrs = t.switch_neighbors(sw)
+        assert len(nbrs) == len(set(nbrs)) == 3
+
+
+# --- star ------------------------------------------------------------------------
+
+
+def test_star_routes_trivially():
+    s = Star(4)
+    assert s.node_switch(3) == 0
+    assert s.static_path(0, 0) == [0]
+    assert s.diameter() == 0
+    assert s.switch_neighbors(0) == []
+
+
+def test_make_topology_unknown_kind():
+    with pytest.raises(ValueError):
+        make_topology("hypercube", 8)

@@ -1,0 +1,86 @@
+"""Unit tests: window lifecycle edge semantics (close/reopen, re-posting)."""
+
+import pytest
+
+from repro.core import EpochType, RvmaApi, RvmaStatus
+
+from tests.helpers import run_gen, run_gens
+
+
+def test_closed_window_reopens_with_new_parameters(rvma_pair):
+    cl = rvma_pair
+    api0, api1 = RvmaApi(cl.node(0)), RvmaApi(cl.node(1))
+
+    def receiver():
+        win = yield from api1.init_window(0x300, epoch_threshold=16)
+        yield from api1.post_buffer(win, size=16)
+        yield from api1.close_win(win)
+        # Re-open the same mailbox with different semantics.
+        win2 = yield from api1.init_window(
+            0x300, epoch_threshold=1, epoch_type=EpochType.EPOCH_OPS
+        )
+        yield from api1.post_buffer(win2, size=64)
+        info = yield from api1.wait_completion(win2)
+        return info.length
+
+    def sender():
+        yield 30_000.0  # after the reopen
+        op = yield from api0.put(1, 0x300, data=b"z" * 40)
+        yield op.local_done
+
+    length, _ = run_gens(cl.sim, receiver(), sender())
+    assert length == 40  # OPS threshold completed on the single put
+
+
+def test_double_init_of_open_window_fails(rvma_pair):
+    from repro.core import RvmaApiError
+
+    api1 = RvmaApi(rvma_pair.node(1))
+
+    def proc():
+        yield from api1.init_window(0x301, epoch_threshold=8)
+        yield from api1.init_window(0x301, epoch_threshold=8)
+
+    with pytest.raises(RvmaApiError):
+        run_gen(rvma_pair.sim, proc())
+
+
+def test_reposting_same_buffer_cycles_epochs(rvma_pair):
+    cl = rvma_pair
+    api0, api1 = RvmaApi(cl.node(0)), RvmaApi(cl.node(1))
+
+    def receiver():
+        win = yield from api1.init_window(0x302, epoch_threshold=8)
+        rec = yield from api1.post_buffer(win, size=8)
+        contents = []
+        for _ in range(3):
+            info = yield from api1.wait_completion(win)
+            contents.append(info.read_data())
+            yield from api1.post_buffer(win, buffer=rec.buffer)
+        return contents
+
+    def sender():
+        yield 2_000.0
+        for byte in (b"1", b"2", b"3"):
+            op = yield from api0.put(1, 0x302, data=byte * 8)
+            yield op.local_done
+            yield 4_000.0
+
+    contents, _ = run_gens(cl.sim, receiver(), sender())
+    assert contents == [b"1" * 8, b"2" * 8, b"3" * 8]
+    # Same physical buffer all along: rewind history shares the address.
+    entry = cl.node(1).nic.lut.lookup(0x302)
+    addrs = {r.head_addr for r in entry.retired}
+    assert len(addrs) == 1
+
+
+def test_close_status_for_unknown_window(rvma_pair):
+    api1 = RvmaApi(rvma_pair.node(1))
+
+    def proc():
+        win = yield from api1.init_window(0x303, epoch_threshold=8)
+        win.virtual_addr = 0xFFFF_FFFF  # sabotage: close something unknown
+        status = yield from api1.close_win(win)
+        return status
+
+    assert run_gen(rvma_pair.sim, proc()) is RvmaStatus.ERR_NO_WINDOW
