@@ -3,15 +3,19 @@
 
 A producer streams timestep snapshots to a consumer's mailbox.  Mid-way
 through timestep 3, the producer node dies.  The consumer's in-progress
-buffer is dangling, but the RVMA NIC retains completed epochs — so
-``MPIX_Rewind`` recovers the last consistent timestep and the
-computation can roll back instead of aborting.
+buffer is dangling, but the failure detector (heartbeat probes over the
+reliability transport) suspects the dead producer within its timeout
+and ``recover_on_failure`` automatically runs ``MPIX_Rewind``: the RVMA
+NIC retains completed epochs, so the computation rolls back to the last
+consistent timestep instead of hanging forever on a completion that
+will never come.
 
     python examples/fault_tolerant_rewind.py
 """
 
-from repro import Cluster, FaultInjector, RvmaApi, mpix_rewind
-from repro.core import EpochJournal, latest_consistent_epoch
+from repro import Cluster, FaultInjector, ReliabilityConfig, RvmaApi
+from repro.core import EpochJournal, recover_on_failure
+from repro.nic.rvma import RvmaNicConfig
 from repro.sim import spawn
 from repro.units import fmt_time
 
@@ -26,7 +30,13 @@ def snapshot(step: int) -> bytes:
 
 
 def main() -> None:
-    cluster = Cluster.build(n_nodes=2, topology="star", nic_type="rvma", fidelity="packet")
+    reliability = ReliabilityConfig(
+        heartbeat_interval=10_000.0, min_suspicion_timeout=60_000.0
+    )
+    cluster = Cluster.build(
+        n_nodes=2, topology="star", nic_type="rvma", fidelity="packet",
+        nic_config=RvmaNicConfig(reliability=reliability),
+    )
     producer_api = RvmaApi(cluster.node(0))
     consumer_api = RvmaApi(cluster.node(1))
     injector = FaultInjector(cluster)
@@ -58,19 +68,23 @@ def main() -> None:
             journal.commit(step + 1, epoch - 1)
             print(f"[{fmt_time(cluster.sim.now)}] consumer: timestep {step} "
                   f"complete (epoch {epoch - 1}, intact={ok})")
-        # Waiting on timestep 3... which will never complete.
-        yield 300_000.0
-        print(f"[{fmt_time(cluster.sim.now)}] consumer: timestep "
-              f"{FAIL_DURING_STEP} never completed — initiating recovery")
+        # Timestep 3 will never complete — but we don't sleep and hope:
+        # the failure detector pings the producer, suspects it when the
+        # pongs stop, and recovery fires the moment suspicion does.
+        recovery = yield from recover_on_failure(consumer_api, win, peer=0)
+        failure = recovery.failure
+        print(f"[{fmt_time(cluster.sim.now)}] consumer: peer {failure.peer} "
+              f"suspected at {fmt_time(failure.time)} ({failure.reason}) — "
+              f"initiating recovery")
 
-        # --- recovery: ask the NIC for the last consistent epoch ------
-        completed = yield from latest_consistent_epoch(consumer_api, win)
-        target_step = journal.rollback_target(completed)
-        rewound = yield from mpix_rewind(consumer_api, win, 1)
+        # --- recovery ran automatically: last consistent epoch + rewind
+        target_step = journal.rollback_target(recovery.consistent_epoch)
+        rewound = recovery.rewound
         ok = rewound.data == snapshot(target_step - 1)
         print(
             f"[{fmt_time(cluster.sim.now)}] consumer: MPIX_Rewind -> epoch "
-            f"{rewound.epoch} ({rewound.length} bytes at {rewound.head_addr:#x})"
+            f"{rewound.epoch} ({rewound.length} bytes at {rewound.head_addr:#x}) "
+            f"in {fmt_time(recovery.recovery_ns)}"
         )
         print(
             f"    rollback to timestep {target_step - 1}: data intact={ok} — "

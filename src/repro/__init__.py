@@ -35,8 +35,9 @@ from .core import (
     execute,
     mpix_rewind,
 )
-from .faults import FaultInjector
+from .faults import ChaosSchedule, FaultInjector
 from .motifs import AllreduceMotif, Halo3D, Incast, RdmaProtocol, RvmaProtocol, Sweep3D
+from .reliability import FailureDetector, PeerFailed, ReliabilityConfig
 from .mpi import MpiRma, RankWindow, RewindUnsupportedError
 from .network import NetworkConfig, RoutingMode, make_topology
 from .rdma import CompletionMode, UcpEndpoint, VerbsEndpoint
@@ -45,19 +46,23 @@ from .sim import Simulator, spawn
 
 __all__ = [
     "AllreduceMotif",
+    "ChaosSchedule",
     "BufferMode",
     "Cluster",
     "CompletionMode",
     "Connection",
     "EpochType",
+    "FailureDetector",
     "FaultInjector",
     "Halo3D",
     "Incast",
     "MpiRma",
     "NetworkConfig",
     "Node",
+    "PeerFailed",
     "RankWindow",
     "RdmaProtocol",
+    "ReliabilityConfig",
     "RewindUnsupportedError",
     "RoutingMode",
     "RvmaApi",

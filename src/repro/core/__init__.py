@@ -5,9 +5,11 @@ from .addressing import PID_SHIFT, RvmaAddress, resolve_destination
 from .api import RvmaApi, execute
 from .fault_tolerance import (
     EpochJournal,
+    RecoveryResult,
     RewindResult,
     latest_consistent_epoch,
     mpix_rewind,
+    recover_on_failure,
 )
 from .receiver_managed import StreamClient, StreamServer
 from .status import RvmaApiError, RvmaStatus
@@ -22,8 +24,10 @@ __all__ = [
     "EpochJournal",
     "EpochType",
     "PostedRecord",
+    "RecoveryResult",
     "RetiredBuffer",
     "RewindResult",
+    "recover_on_failure",
     "RvmaApi",
     "RvmaApiError",
     "RvmaStatus",

@@ -232,6 +232,46 @@ class RvmaApi:
         win.consumed += 1
         return CompletionInfo(head_addr=int(head), length=int(length), record=record)
 
+    # ------------------------------------------------------------------ failures
+
+    def _require_detector(self):
+        detector = self.nic.detector
+        if detector is None:
+            raise RvmaApiError(
+                RvmaStatus.ERR_INVALID,
+                "failure detection requires reliability: build the cluster with "
+                "nic_config=RvmaNicConfig(reliability=ReliabilityConfig(...))",
+            )
+        return detector
+
+    def watch_peer(self, peer: int, deadline: Optional[float] = None):
+        """Start failure-detector monitoring of *peer* (heartbeat pings).
+
+        Returns the :class:`repro.reliability.detector.Watch` handle;
+        cancel it (or pass *deadline*) so a run whose peers stay healthy
+        still drains its event heap and terminates.
+        """
+        return self._require_detector().watch(peer, deadline=deadline)
+
+    def peer_failure(self, peer: int):
+        """Future resolved with :class:`~repro.reliability.detector.PeerFailed`
+        when *peer* is suspected dead (starts a watch)."""
+        return self._require_detector().failure_future(peer)
+
+    def wait_peer_failure(self, peer: int) -> Generator:
+        """Block until the failure detector suspects *peer*.
+
+        The application-facing alternative to hanging in
+        ``wait_completion`` on traffic a dead peer will never finish.
+        """
+        record = yield self.peer_failure(peer)
+        return record
+
+    def peer_suspected(self, peer: int) -> bool:
+        """Whether the failure detector currently suspects *peer*."""
+        detector = self.nic.detector
+        return detector is not None and detector.is_suspected(peer)
+
     # ------------------------------------------------------------------ extensions
 
     def set_catch_all(self, win: Window) -> Generator:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from ..nic.lut import RetiredBuffer
+from ..reliability.detector import PeerFailed
 from .api import RvmaApi
 from .window import Window
 
@@ -26,6 +27,18 @@ class RewindResult:
     head_addr: int
     length: int
     data: bytes
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of an automatic failure-triggered rewind."""
+
+    failure: PeerFailed
+    #: last epoch that completed in hardware (safe rollback point).
+    consistent_epoch: int
+    rewound: Optional[RewindResult]
+    #: simulated ns from suspicion to recovered state in hand.
+    recovery_ns: float
 
 
 def mpix_rewind(api: RvmaApi, win: Window, epochs_back: int = 1) -> Generator:
@@ -52,6 +65,30 @@ def latest_consistent_epoch(api: RvmaApi, win: Window) -> Generator:
     """
     epoch = yield from api.win_get_epoch(win)
     return epoch - 1  # epochs are counted from 0; `epoch` is in progress
+
+
+def recover_on_failure(
+    api: RvmaApi, win: Window, peer: int, epochs_back: int = 1
+) -> Generator:
+    """Watch *peer* and, when the failure detector suspects it, run the
+    full §IV-F recovery automatically: fetch the last hardware-complete
+    epoch and ``mpix_rewind`` to it.
+
+    Drive in a SimProcess; resolves to a :class:`RecoveryResult`.  This
+    replaces the fixed sleep-then-hope detection the examples used to
+    hand-roll: suspicion is raised by heartbeat timeout *or* by the
+    reliability transport exhausting a retry budget, whichever is first.
+    """
+    failure: PeerFailed = yield from api.wait_peer_failure(peer)
+    t_suspect = api.sim.now
+    consistent = yield from latest_consistent_epoch(api, win)
+    rewound: Optional[RewindResult] = yield from mpix_rewind(api, win, epochs_back)
+    return RecoveryResult(
+        failure=failure,
+        consistent_epoch=consistent,
+        rewound=rewound,
+        recovery_ns=api.sim.now - t_suspect,
+    )
 
 
 class EpochJournal:

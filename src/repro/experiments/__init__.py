@@ -7,6 +7,7 @@ from .ablations import (
     run_ablation_threshold,
     run_ablation_write_imm,
 )
+from .chaos import ChaosOutcome, run_chaos, run_motif_under_chaos
 from .charts import bar_chart, chart_for_result
 from .fault_recovery import run_fault_recovery
 from .fig45 import run_fig4, run_fig5
@@ -26,6 +27,7 @@ __all__ = [
     "DEFAULT_RATES",
     "DEFAULT_ROUTINGS",
     "DEFAULT_TOPOLOGIES",
+    "ChaosOutcome",
     "ExperimentResult",
     "FIG6_SIZES",
     "MotifComparison",
@@ -37,6 +39,7 @@ __all__ = [
     "run_ablation_pcie",
     "run_ablation_threshold",
     "run_ablation_write_imm",
+    "run_chaos",
     "run_fault_recovery",
     "run_fig4",
     "run_fig5",
@@ -44,4 +47,5 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_motif_sweep",
+    "run_motif_under_chaos",
 ]

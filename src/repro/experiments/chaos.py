@@ -1,0 +1,224 @@
+"""Chaos harness: motifs under randomized fault schedules.
+
+The reliability layer (:mod:`repro.reliability`) claims RVMA traffic
+survives loss, duplication, flapping links and partitions end-to-end.
+This harness proves it the only way that counts — by running the real
+motifs (allreduce, incast, halo3d) under composed
+:class:`~repro.faults.chaos.ChaosSchedule` faults and checking the
+invariants:
+
+* **completion** — every rank finishes; the simulation terminates;
+* **exactness** — application results are byte/count-identical to a
+  fault-free run of the same seed (retransmission is invisible above
+  the transport);
+* **bounded recovery** — retransmissions stay within the per-message
+  retry budget and no message is abandoned (``rel_gave_up == 0``);
+* **no silent loss** — ``puts_lost`` and friends stay zero.
+
+The same entry points back ``tests/integration/test_chaos.py`` (fixed
+seed matrix) and the ``chaos`` experiment CLI table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..cluster.builder import Cluster
+from ..faults.chaos import ChaosSchedule
+from ..faults.injectors import FaultInjector
+from ..motifs.allreduce import AllreduceMotif
+from ..motifs.base import Motif, MotifResult
+from ..motifs.halo3d import Halo3D
+from ..motifs.incast import Incast
+from ..motifs.transfer import RvmaProtocol
+from ..nic.rvma import RvmaNicConfig
+from ..reliability.transport import ReliabilityConfig, hottest_retransmit_flows
+from .report import ExperimentResult
+
+#: Transport tuning for chaos runs: timeouts sized to the small-scale
+#: motif RTTs, budget sized so backoff coverage exceeds the longest
+#: schedulable window (ChaosSchedule caps windows; see its docstring).
+CHAOS_RELIABILITY = ReliabilityConfig(
+    retransmit_timeout=8_000.0,
+    backoff_factor=2.0,
+    max_backoff=250_000.0,
+    max_retries=10,
+    heartbeat_interval=20_000.0,
+    min_suspicion_timeout=120_000.0,
+)
+
+#: Default schedule shape for the harness (overridable per call).
+DEFAULT_HORIZON_NS = 400_000.0
+DEFAULT_EVENTS = 4
+DEFAULT_MAX_WINDOW_NS = 50_000.0
+
+
+def _build_motif(name: str, cluster: Cluster) -> Motif:
+    proto = RvmaProtocol()
+    if name == "allreduce":
+        return AllreduceMotif(cluster, proto, iterations=4, vector_len=4)
+    if name == "incast":
+        return Incast(cluster, proto, msgs_per_client=3, msg_bytes=2048)
+    if name == "halo3d":
+        return Halo3D(cluster, proto, iterations=2, msg_bytes=4096)
+    raise ValueError(f"unknown chaos motif {name!r}")
+
+
+def _fingerprint(name: str, motif: Motif, cluster: Cluster) -> tuple:
+    """What must be identical between a chaotic and a fault-free run."""
+    counters = cluster.sim.stats.counters()
+
+    def total(suffix: str) -> int:
+        return sum(v for k, v in counters.items() if k.endswith(suffix))
+
+    if name == "allreduce":
+        return ("allreduce", tuple(sorted((r, tuple(v)) for r, v in motif.reduced.items())))
+    # Incast/halo: every byte placed exactly once, every epoch completed.
+    return (name, total(".bytes_placed"), total(".epochs_completed"))
+
+
+@dataclass
+class ChaosOutcome:
+    """One motif run under one chaos schedule."""
+
+    motif: str
+    seed: int
+    reliability: bool
+    completed: bool
+    #: non-None when the run failed (deadlock / data-loss indicators).
+    error: Optional[str]
+    elapsed_ns: float
+    deliveries_dropped: int
+    retransmits: int
+    acks: int
+    dups_suppressed: int
+    gave_up: int
+    #: application results identical to the fault-free reference run.
+    identical_to_clean: Optional[bool]
+    schedule: list[str] = field(default_factory=list)
+    hottest_flows: list = field(default_factory=list)
+
+    @property
+    def invariants_ok(self) -> bool:
+        return bool(
+            self.completed
+            and self.error is None
+            and self.gave_up == 0
+            and self.identical_to_clean is not False
+        )
+
+
+def run_motif_under_chaos(
+    motif_name: str,
+    seed: int = 1,
+    n_nodes: int = 8,
+    topology: str = "dragonfly",
+    reliability: bool = True,
+    reliability_config: Optional[ReliabilityConfig] = None,
+    n_events: int = DEFAULT_EVENTS,
+    horizon_ns: float = DEFAULT_HORIZON_NS,
+    max_window_ns: float = DEFAULT_MAX_WINDOW_NS,
+    drop_prob: float = 0.05,
+    compare_clean: bool = True,
+    configure: Optional[Callable[[FaultInjector], None]] = None,
+) -> ChaosOutcome:
+    """Run one motif under a generated chaos schedule and audit it.
+
+    ``reliability=False`` runs the identical schedule on the unprotected
+    NICs — the regression guard that the faults *are* harmful (the run
+    stalls or loses data without the transport).
+    """
+    nic_config = RvmaNicConfig(
+        reliability=(reliability_config or CHAOS_RELIABILITY) if reliability else None
+    )
+    cluster = Cluster.build(
+        n_nodes=n_nodes, topology=topology, nic_type="rvma", fidelity="flow",
+        seed=seed, nic_config=nic_config,
+    )
+    injector = FaultInjector(cluster)
+    schedule = ChaosSchedule.generate(
+        cluster, horizon_ns=horizon_ns, n_events=n_events,
+        max_window_ns=max_window_ns, drop_prob=drop_prob,
+    )
+    schedule.apply(injector)
+    if configure is not None:
+        configure(injector)
+    motif = _build_motif(motif_name, cluster)
+
+    error: Optional[str] = None
+    result: Optional[MotifResult] = None
+    try:
+        result = motif.run()
+    except RuntimeError as exc:  # deadlocked ranks or data-loss indicators
+        error = str(exc)
+
+    counters = cluster.sim.stats.counters()
+    identical: Optional[bool] = None
+    if compare_clean and error is None:
+        clean_cluster = Cluster.build(
+            n_nodes=n_nodes, topology=topology, nic_type="rvma", fidelity="flow",
+            seed=seed, nic_config=nic_config,
+        )
+        clean_motif = _build_motif(motif_name, clean_cluster)
+        clean_motif.run()
+        identical = _fingerprint(motif_name, motif, cluster) == _fingerprint(
+            motif_name, clean_motif, clean_cluster
+        )
+    return ChaosOutcome(
+        motif=motif_name,
+        seed=seed,
+        reliability=reliability,
+        completed=error is None,
+        error=error,
+        elapsed_ns=result.elapsed if result is not None else float("nan"),
+        deliveries_dropped=cluster.fabric.deliveries_dropped,
+        retransmits=counters.get("reliability.rel_retransmits", 0),
+        acks=counters.get("reliability.rel_acks_tx", 0),
+        dups_suppressed=counters.get("reliability.rel_dups_suppressed", 0),
+        gave_up=counters.get("reliability.rel_gave_up", 0),
+        identical_to_clean=identical,
+        schedule=schedule.describe(),
+        hottest_flows=hottest_retransmit_flows(cluster, k=5),
+    )
+
+
+def run_chaos(
+    seeds: tuple = (1, 2, 3),
+    motifs: tuple = ("allreduce", "incast", "halo3d"),
+    n_nodes: int = 8,
+    **kw,
+) -> ExperimentResult:
+    """The chaos sweep: every motif x every seed, invariants audited."""
+    rows = []
+    all_ok = True
+    total_retx = 0
+    for motif in motifs:
+        for seed in seeds:
+            out = run_motif_under_chaos(motif, seed=seed, n_nodes=n_nodes, **kw)
+            all_ok = all_ok and out.invariants_ok
+            total_retx += out.retransmits
+            rows.append([
+                motif,
+                seed,
+                out.deliveries_dropped,
+                out.retransmits,
+                out.dups_suppressed,
+                "yes" if out.completed else "NO",
+                {True: "yes", False: "NO", None: "-"}[out.identical_to_clean],
+            ])
+    return ExperimentResult(
+        name="chaos",
+        title=f"Chaos harness: motifs under composed fault schedules ({n_nodes} nodes)",
+        headers=["motif", "seed", "drops", "retransmits", "dups", "completed", "exact"],
+        rows=rows,
+        summary={
+            "all_invariants_ok": all_ok,
+            "total_retransmits": total_retx,
+            "seeds": list(seeds),
+        },
+        paper_claims={
+            "observation": "reliability owned in the transport lets RVMA traffic "
+            "survive lossy fabrics end-to-end (RAMC-style layering; extends §IV-F)"
+        },
+    )

@@ -25,6 +25,7 @@ from .ablations import (
     run_ablation_threshold,
     run_ablation_write_imm,
 )
+from .chaos import run_chaos
 from .charts import chart_for_result
 from .fault_recovery import run_fault_recovery
 from .fig45 import run_fig4, run_fig5
@@ -55,6 +56,7 @@ RUNNERS: dict[str, Callable] = {
     "ablation-write-imm": lambda args: run_ablation_write_imm(),
     "fault-recovery": lambda args: run_fault_recovery(),
     "ablation-pcie": lambda args: run_ablation_pcie(),
+    "chaos": lambda args: run_chaos(),
 }
 
 

@@ -1,5 +1,6 @@
 """Fault injection for the fault-tolerance demonstrations and tests."""
 
-from .injectors import FaultInjector, FaultLog
+from .chaos import ChaosEvent, ChaosSchedule
+from .injectors import FaultInjector, FaultLog, FaultWindow
 
-__all__ = ["FaultInjector", "FaultLog"]
+__all__ = ["ChaosEvent", "ChaosSchedule", "FaultInjector", "FaultLog", "FaultWindow"]

@@ -1,0 +1,115 @@
+"""Chaos schedules: randomized-but-deterministic composed fault plans.
+
+A :class:`ChaosSchedule` is a reproducible plan of scheduled fault
+windows (link flaps, switch failures, partitions) plus optional
+background i.i.d. loss, generated from the simulator's named RNG
+streams — so a (seed, parameters) pair always produces the identical
+schedule, and chaos test failures replay exactly.
+
+Windows are bounded: every generated window is capped at
+``max_window_ns`` so that a reliability transport with a sane retry
+budget (backoff coverage exceeding the longest window) can always
+deliver eventually.  That is the invariant the chaos harness asserts:
+*no put is lost within the retry budget*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.builder import Cluster
+from .injectors import FaultInjector
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned fault."""
+
+    kind: str  # "link_flap" | "switch_failure" | "partition"
+    start: float
+    end: float
+    params: tuple  # kind-specific: link (u, v), switch (id,), partition (nodes...)
+
+    def describe(self) -> str:
+        if self.kind == "link_flap":
+            u, v = self.params
+            tgt = f"sw{u}<->sw{v}"
+        elif self.kind == "switch_failure":
+            tgt = f"sw{self.params[0]}"
+        else:
+            tgt = "nodes {" + ",".join(str(p) for p in self.params) + "}"
+        return f"{self.kind} {tgt} @ [{self.start:.0f}, {self.end:.0f})ns"
+
+
+@dataclass
+class ChaosSchedule:
+    """A composed fault plan applied through one :class:`FaultInjector`."""
+
+    events: list[ChaosEvent] = field(default_factory=list)
+    drop_prob: float = 0.0
+
+    @classmethod
+    def generate(
+        cls,
+        cluster: Cluster,
+        horizon_ns: float,
+        n_events: int = 4,
+        max_window_ns: float = 60_000.0,
+        min_window_ns: float = 5_000.0,
+        drop_prob: float = 0.0,
+        kinds: tuple = ("link_flap", "switch_failure", "partition"),
+        stream: str = "chaos",
+    ) -> "ChaosSchedule":
+        """Draw a random schedule from the cluster's named RNG streams.
+
+        Deterministic per (simulator seed, stream, parameters); the
+        same cluster seed always suffers the same chaos.
+        """
+        if max_window_ns < min_window_ns:
+            raise ValueError("max_window_ns must be >= min_window_ns")
+        rng = cluster.sim.rng
+        topo = cluster.topology
+        links = sorted({tuple(sorted(l)) for l in topo.links()})
+        events: list[ChaosEvent] = []
+        for _ in range(n_events):
+            kind = kinds[rng.choice(f"{stream}.kind", len(kinds))]
+            span = min_window_ns + rng.random(f"{stream}.len") * (
+                max_window_ns - min_window_ns
+            )
+            start = rng.random(f"{stream}.start") * max(horizon_ns - span, 0.0)
+            if kind == "link_flap" and links:
+                params = links[rng.choice(f"{stream}.link", len(links))]
+            elif kind == "switch_failure" and topo.n_switches > 1:
+                params = (rng.choice(f"{stream}.switch", topo.n_switches),)
+            else:
+                # Partition a single random node away from the rest: the
+                # smallest cut that still severs real traffic.
+                kind = "partition"
+                params = (rng.choice(f"{stream}.node", cluster.n_nodes),)
+            events.append(ChaosEvent(kind=kind, start=start, end=start + span, params=params))
+        events.sort(key=lambda e: e.start)
+        return cls(events=events, drop_prob=drop_prob)
+
+    def apply(self, injector: FaultInjector) -> FaultInjector:
+        """Install every planned fault on *injector* (chains with any
+        faults it already carries)."""
+        for ev in self.events:
+            if ev.kind == "link_flap":
+                injector.flap_link(ev.params[0], ev.params[1], [(ev.start, ev.end)])
+            elif ev.kind == "switch_failure":
+                injector.fail_switch(ev.params[0], ev.start, ev.end)
+            else:
+                injector.partition(ev.params, ev.start, ev.end)
+        if self.drop_prob:
+            injector.drop_messages(self.drop_prob)
+        return injector
+
+    @property
+    def longest_window_ns(self) -> float:
+        return max((e.end - e.start for e in self.events), default=0.0)
+
+    def describe(self) -> list[str]:
+        lines = [ev.describe() for ev in self.events]
+        if self.drop_prob:
+            lines.append(f"background drop probability {self.drop_prob:.0%}")
+        return lines

@@ -1,18 +1,44 @@
-"""Fault injection: node failures, message loss, payload corruption.
+"""Fault injection: node failures, message loss, corruption, fault windows.
 
 These drive the §IV-F fault-tolerance demonstrations (mid-epoch sender
-death + ``rewind`` recovery) and the robustness tests.  Injection
+death + ``rewind`` recovery) and the robustness/chaos tests.  Injection
 points: the NIC's ``failed`` flag (node death) and the fabric's
 ``fault_filter`` hook (loss/corruption at delivery).
+
+Two classes of fabric fault are supported:
+
+* **i.i.d. faults** — :meth:`FaultInjector.drop_messages` /
+  :meth:`FaultInjector.corrupt_payloads`, each with its *own* selector
+  and probability;
+* **scheduled fault windows** — :meth:`FaultInjector.drop_window`,
+  :meth:`FaultInjector.flap_link`, :meth:`FaultInjector.fail_switch`,
+  :meth:`FaultInjector.partition`: deterministic ``[start, end)``
+  intervals during which matching traffic is dropped, modelling link
+  flaps, switch failures and network partitions rather than uniform
+  noise.  :class:`repro.faults.chaos.ChaosSchedule` composes them.
+
+Multiple injectors (or any other owner of ``fabric.fault_filter``)
+compose: installing chains onto whatever filter was already present,
+and :meth:`FaultInjector.clear` restores the previous hook instead of
+nuking it.
+
+Link-flap and switch-failure windows match a delivery when the failed
+element lies on the *static* route between the endpoints — an
+approximation under adaptive routing (documented in
+``docs/ARCHITECTURE.md``), chosen because deliveries do not retain
+their hop-by-hop channel list at flow fidelity.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..cluster.builder import Cluster
 from ..network.message import Delivery
+
+Selector = Callable[[Delivery], bool]
 
 
 @dataclass
@@ -22,6 +48,31 @@ class FaultLog:
     node_failures: list[tuple[int, float]] = field(default_factory=list)
     messages_dropped: int = 0
     payloads_corrupted: int = 0
+    #: drops attributed to scheduled fault windows, by kind.
+    window_drops: dict[str, int] = field(default_factory=dict)
+    #: every scheduled window, as (kind, start, end, description).
+    windows: list[tuple[str, float, float, str]] = field(default_factory=list)
+
+    def count_window_drop(self, kind: str) -> None:
+        self.window_drops[kind] = self.window_drops.get(kind, 0) + 1
+
+    @property
+    def total_window_drops(self) -> int:
+        return sum(self.window_drops.values())
+
+
+@dataclass
+class FaultWindow:
+    """One scheduled fault: drop matching deliveries during [start, end)."""
+
+    kind: str  # "window" | "link_flap" | "switch_failure" | "partition"
+    start: float
+    end: float
+    predicate: Selector
+    label: str = ""
+
+    def matches(self, now: float, delivery: Delivery) -> bool:
+        return self.start <= now < self.end and self.predicate(delivery)
 
 
 class FaultInjector:
@@ -32,9 +83,16 @@ class FaultInjector:
         self.sim = cluster.sim
         self.log = FaultLog()
         self._drop_prob = 0.0
+        self._drop_selector: Optional[Selector] = None
         self._corrupt_prob = 0.0
-        self._selector: Optional[Callable[[Delivery], bool]] = None
+        self._corrupt_selector: Optional[Selector] = None
+        self._windows: list[FaultWindow] = []
         self._dead_nodes: set[int] = set()
+        #: static-route cache for link/switch window matching.
+        self._route_cache: dict[tuple[int, int], list[int]] = {}
+        self._active = False
+        self._installed_filter: Optional[Selector] = None
+        self._prev_filter: Optional[Selector] = None
 
     # --- node death ---------------------------------------------------------------
 
@@ -56,22 +114,19 @@ class FaultInjector:
         """Whether *node_id* has been killed by this injector."""
         return node_id in self._dead_nodes
 
-    # --- fabric-level faults --------------------------------------------------------
+    # --- i.i.d. fabric faults -------------------------------------------------------
 
-    def drop_messages(
-        self, probability: float, selector: Optional[Callable[[Delivery], bool]] = None
-    ) -> None:
+    def drop_messages(self, probability: float, selector: Optional[Selector] = None) -> None:
         """Drop each delivery with the given probability (optionally only
-        those matching *selector*)."""
+        those matching *selector*).  The selector applies to drops only;
+        :meth:`corrupt_payloads` keeps its own."""
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         self._drop_prob = probability
-        self._selector = selector
+        self._drop_selector = selector
         self._install()
 
-    def corrupt_payloads(
-        self, probability: float, selector: Optional[Callable[[Delivery], bool]] = None
-    ) -> None:
+    def corrupt_payloads(self, probability: float, selector: Optional[Selector] = None) -> None:
         """Flip the first payload byte of affected deliveries.
 
         Corruption (unlike loss) is observable by application-level
@@ -80,23 +135,131 @@ class FaultInjector:
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         self._corrupt_prob = probability
-        self._selector = selector
+        self._corrupt_selector = selector
         self._install()
 
-    def _install(self) -> None:
+    # --- scheduled fault windows ----------------------------------------------------
+
+    def drop_window(
+        self,
+        start: float,
+        end: float,
+        selector: Optional[Selector] = None,
+        kind: str = "window",
+        label: str = "",
+    ) -> FaultWindow:
+        """Drop (matching) deliveries during the interval [start, end)."""
+        if end <= start:
+            raise ValueError("fault window must have end > start")
+        window = FaultWindow(
+            kind=kind, start=start, end=end,
+            predicate=selector if selector is not None else (lambda _d: True),
+            label=label or kind,
+        )
+        self._windows.append(window)
+        self.log.windows.append((kind, start, end, window.label))
+        self._install()
+        return window
+
+    def flap_link(self, u: int, v: int, windows: Iterable[tuple[float, float]]) -> None:
+        """Take the switch link u<->v down for each (start, end) window.
+
+        Deliveries whose static route crosses the link (either
+        direction) are dropped while a window is open.
+        """
+        edge = frozenset((u, v))
+
+        def crosses(delivery: Delivery) -> bool:
+            path = self._static_route(delivery.message.src, delivery.message.dst)
+            return any(frozenset(e) == edge for e in zip(path, path[1:]))
+
+        for start, end in windows:
+            self.drop_window(start, end, crosses, kind="link_flap", label=f"link sw{u}<->sw{v}")
+
+    def fail_switch(self, switch_id: int, start: float, end: float = math.inf) -> None:
+        """Take a whole switch down during [start, end) (default: forever).
+
+        All traffic whose static route traverses the switch — including
+        traffic of the nodes cabled to it — is dropped.
+        """
+
+        def through(delivery: Delivery) -> bool:
+            return switch_id in self._static_route(delivery.message.src, delivery.message.dst)
+
+        self.drop_window(start, end, through, kind="switch_failure", label=f"sw{switch_id}")
+
+    def partition(
+        self, group: Iterable[int], start: float, end: float = math.inf
+    ) -> None:
+        """Partition the network: nodes in *group* cannot exchange
+        traffic with the rest of the cluster during [start, end)."""
+        members = frozenset(group)
+
+        def crosses_cut(delivery: Delivery) -> bool:
+            return (delivery.message.src in members) != (delivery.message.dst in members)
+
+        label = f"{{{','.join(str(n) for n in sorted(members))}}} | rest"
+        self.drop_window(start, end, crosses_cut, kind="partition", label=label)
+
+    def _static_route(self, src: int, dst: int) -> list[int]:
+        """Switch sequence of the static route between two nodes (cached)."""
+        key = (src, dst)
+        path = self._route_cache.get(key)
+        if path is None:
+            topo = self.cluster.topology
+            path = self._route_cache[key] = topo.static_path(
+                topo.node_switch(src), topo.node_switch(dst)
+            )
+        return path
+
+    # --- filter installation ----------------------------------------------------------
+
+    def _apply(self, delivery: Delivery) -> bool:
+        """This injector's verdict on one delivery (True = drop)."""
+        now = self.sim.now
+        for window in self._windows:
+            if window.matches(now, delivery):
+                self.log.messages_dropped += 1
+                self.log.count_window_drop(window.kind)
+                self.sim.stats.counter(f"faults.drops_{window.kind}").add()
+                return True
         rng = self.sim.rng
+        if (
+            self._drop_prob
+            and (self._drop_selector is None or self._drop_selector(delivery))
+            and rng.random("faults.drop") < self._drop_prob
+        ):
+            self.log.messages_dropped += 1
+            self.sim.stats.counter("faults.drops_random").add()
+            return True
+        if (
+            self._corrupt_prob
+            and (self._corrupt_selector is None or self._corrupt_selector(delivery))
+            and rng.random("faults.corrupt") < self._corrupt_prob
+        ):
+            self._corrupt(delivery)
+        return False
+
+    def _install(self) -> None:
+        """Arm this injector, chaining onto any existing fault filter.
+
+        A second injector composes with the first (a delivery is dropped
+        if *any* armed filter drops it) instead of clobbering it.
+        """
+        self._active = True
+        if self._installed_filter is not None:
+            return
+        fabric = self.cluster.fabric
+        prev = fabric.fault_filter
 
         def fault_filter(delivery: Delivery) -> bool:
-            if self._selector is not None and not self._selector(delivery):
-                return False
-            if self._drop_prob and rng.random("faults.drop") < self._drop_prob:
-                self.log.messages_dropped += 1
+            if self._active and self._apply(delivery):
                 return True
-            if self._corrupt_prob and rng.random("faults.corrupt") < self._corrupt_prob:
-                self._corrupt(delivery)
-            return False
+            return prev(delivery) if prev is not None else False
 
-        self.cluster.fabric.fault_filter = fault_filter
+        self._prev_filter = prev
+        self._installed_filter = fault_filter
+        fabric.fault_filter = fault_filter
 
     def _corrupt(self, delivery: Delivery) -> None:
         target = delivery.packet if delivery.packet is not None else delivery.message
@@ -106,7 +269,35 @@ class FaultInjector:
             self.log.payloads_corrupted += 1
 
     def clear(self) -> None:
-        """Remove fabric-level fault hooks (node deaths are permanent)."""
+        """Disarm this injector's fabric-level faults (node deaths are
+        permanent).  Restores the previously installed fault filter when
+        this injector is at the head of the chain; when another hook was
+        installed after us, we stay in place as a pass-through."""
         self._drop_prob = 0.0
+        self._drop_selector = None
         self._corrupt_prob = 0.0
-        self.cluster.fabric.fault_filter = None
+        self._corrupt_selector = None
+        self._windows.clear()
+        self._active = False
+        fabric = self.cluster.fabric
+        if self._installed_filter is not None and fabric.fault_filter is self._installed_filter:
+            fabric.fault_filter = self._prev_filter
+            self._installed_filter = None
+            self._prev_filter = None
+
+    # --- diagnostics -------------------------------------------------------------------
+
+    def summary(self) -> list[str]:
+        """Human-readable account of injected faults (chaos-run logs)."""
+        lines = [
+            f"messages dropped: {self.log.messages_dropped} "
+            f"(windows: {self.log.total_window_drops})",
+            f"payloads corrupted: {self.log.payloads_corrupted}",
+        ]
+        for node, t in self.log.node_failures:
+            lines.append(f"node {node} killed at {t:.0f}ns")
+        for kind, start, end, label in self.log.windows:
+            hits = self.log.window_drops.get(kind, 0)
+            end_s = "inf" if math.isinf(end) else f"{end:.0f}"
+            lines.append(f"{kind} [{label}] {start:.0f}-{end_s}ns ({hits} {kind} drops total)")
+        return lines

@@ -17,6 +17,8 @@ from ..memory.pcie import PAPER_SIM, PcieBus, PcieGen
 from ..network.fabric import BaseFabric
 from ..network.message import Delivery, Message
 from ..network.routing import RoutingMode
+from ..reliability.detector import FailureDetector, PeerFailed
+from ..reliability.transport import ReliabilityConfig, ReliableTransport
 from ..sim.component import Component
 from ..sim.engine import Simulator
 from ..sim.process import Future
@@ -38,6 +40,10 @@ class NicConfig:
     #: follows it: PCIe posted writes pipeline, so the notification does
     #: not pay a second full bus traversal (it lands just behind the data).
     completion_pipeline_gap: float = 25.0
+    #: When set, all application traffic rides the reliability transport
+    #: (retransmission + dedup) and a failure detector is attached; when
+    #: None (the default), the NIC models the lossless happy path.
+    reliability: Optional[ReliabilityConfig] = None
 
     def issue_latency(self) -> float:
         """Host posting an operation until the NIC starts injecting."""
@@ -66,6 +72,12 @@ class BaseNic(Component):
         #: Set by fault injection: a failed NIC drops all traffic and
         #: refuses host commands.
         self.failed = False
+        #: Reliability layer (None when running the lossless happy path).
+        self.transport: Optional[ReliableTransport] = None
+        self.detector: Optional[FailureDetector] = None
+        if self.config.reliability is not None:
+            self.transport = ReliableTransport(self, self.config.reliability)
+            self.detector = FailureDetector(self, self.transport, self.config.reliability)
         fabric.attach(node_id, self._on_delivery)
 
     # --- receive path ------------------------------------------------------------
@@ -92,6 +104,22 @@ class BaseNic(Component):
             return
         fn(delivery)
 
+    def dispatch_inner(self, delivery: Delivery) -> None:
+        """Dispatch a delivery the reliability transport has unwrapped.
+
+        The NIC pipeline cost was already charged on arrival of the
+        enveloped traffic, so this is a plain handler lookup.
+        """
+        self._handle(delivery)
+
+    def on_peer_suspected(self, record: PeerFailed) -> None:
+        """Failure-detector hook: *record.peer* is presumed dead.
+
+        Subclasses fail outstanding operations targeting the peer so
+        software blocks on a completion, not forever.
+        """
+        self.stat("peer_failures_seen").add()
+
     # --- transmit path -------------------------------------------------------------
 
     def inject(
@@ -108,11 +136,24 @@ class BaseNic(Component):
 
     def _inject_now(self, dst: int, size: int, header: Any, data: bytes, mode) -> Message:
         self.stat("tx_messages").add()
+        if (
+            self.transport is not None
+            and dst != self.node_id
+            and self.transport.wraps(header)
+        ):
+            return self.transport.send(dst, size, header, data, mode)
         return self.fabric.send(self.node_id, dst, size, header=header, data=data, mode=mode)
 
     def send_control(self, dst: int, header: Any, mode: Optional[RoutingMode] = None) -> None:
         """Emit a small control message (ack/NACK/read request)."""
         self.stat("tx_control").add()
+        if (
+            self.transport is not None
+            and dst != self.node_id
+            and self.transport.wraps(header)
+        ):
+            self.transport.send(dst, CONTROL_BYTES, header, b"", mode)
+            return
         self.fabric.send(self.node_id, dst, CONTROL_BYTES, header=header, mode=mode)
 
     def local_injection_done(self) -> float:

@@ -72,6 +72,53 @@ class RvmaNackHeader:
     reason: NackReason
 
 
+# --- reliability envelope -----------------------------------------------------
+#
+# The reliability transport (:mod:`repro.reliability.transport`) wraps
+# application headers in a sequence-numbered envelope so a lossy fabric
+# (fault injection: drops, flaps, partitions) can be survived by
+# timeout-driven retransmission.  The envelope is protocol-agnostic: it
+# carries RVMA and RDMA headers alike.
+
+
+@dataclass(frozen=True)
+class SeqHeader:
+    """Reliable-delivery envelope around an application header.
+
+    ``flow`` discriminates independent sequence spaces between one
+    (src, dst) NIC pair — the target mailbox for RVMA traffic, 0 for
+    everything else — so per-(src, dst, mailbox) ordering/dedup state
+    stays small and a hot mailbox cannot head-of-line-block another.
+    """
+
+    flow: int
+    seq: int  # per-(src, dst, flow), starting at 1
+    inner: object  # the wrapped application header
+    attempt: int = 0  # retransmission attempt (0 = first transmission)
+
+
+@dataclass(frozen=True)
+class ReliAckHeader:
+    """Cumulative + selective acknowledgement for one flow.
+
+    ``cum`` acknowledges every sequence number <= cum; ``sacks`` lists
+    out-of-order sequence numbers received beyond it (capped), so a
+    single lost message does not force retransmission of its successors.
+    """
+
+    flow: int
+    cum: int
+    sacks: tuple = ()
+
+
+@dataclass(frozen=True)
+class HeartbeatHeader:
+    """Failure-detector probe.  ``ping`` requests an immediate ``pong``."""
+
+    kind: str  # "ping" | "pong"
+    seq: int
+
+
 # --- RDMA --------------------------------------------------------------------
 
 

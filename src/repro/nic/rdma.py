@@ -228,6 +228,29 @@ class RdmaNic(BaseNic):
         self.sim.schedule(self.cfg.issue_latency(), self.send_control, dst, hdr, mode)
         return op
 
+    # ------------------------------------------------------------------ failures
+
+    def on_peer_suspected(self, record) -> None:
+        """Flush pending ops to a dead peer as ERROR CQ entries.
+
+        Matches RC QP error semantics: outstanding work requests on a
+        broken connection complete in error rather than hanging the CQ.
+        """
+        super().on_peer_suspected(record)
+        peer = record.peer
+        for op_id in [i for i, op in self._pending.items() if op.dst == peer]:
+            op = self._pending.pop(op_id)
+            self._op_bytes.pop(op_id, None)
+            self._read_dest.pop(op_id, None)
+            self.stat("ops_failed_peer_death").add()
+            entry = CqEntry(
+                CqKind.ERROR, op.op_id, size=op.size, wr_id=op.wr_id,
+                time=self.sim.now, ok=False,
+            )
+            if op.signaled:
+                self.cq.push(entry)
+            op.done.resolve(entry)
+
     # ------------------------------------------------------------------ receive path
 
     def _mr_for(self, rkey: int, addr: int, length: int) -> Optional[MemoryRegion]:

@@ -318,6 +318,27 @@ class RvmaNic(BaseNic):
         )
         return op
 
+    # ------------------------------------------------------------------ failures
+
+    def on_peer_suspected(self, record) -> None:
+        """Fail outstanding ops targeting a suspected-dead peer.
+
+        Gets would otherwise hang forever waiting for a reply that can
+        never come; put retry state is dropped so NACK-driven resends to
+        a corpse stop.  The application-level signal is the
+        ``PeerFailed`` completion surfaced through the API/detector.
+        """
+        super().on_peer_suspected(record)
+        peer = record.peer
+        for op_id in [i for i, g in self._gets.items() if g.dst == peer]:
+            op = self._gets.pop(op_id)
+            self._op_bytes.pop(-op_id, None)
+            self.stat("gets_failed_peer_death").add()
+            op.done.resolve(False)
+        for op in self._puts.values():
+            if op.dst == peer and op.retry is not None:
+                op.retry = None
+
     # ------------------------------------------------------------------ receive path
 
     def _resolve_target(self, hdr: RvmaPutHeader | RvmaGetHeader, src: int):

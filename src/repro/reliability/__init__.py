@@ -1,0 +1,18 @@
+"""End-to-end reliability: retransmission transport + failure detector.
+
+Enable by passing ``reliability=ReliabilityConfig(...)`` in any NIC
+config; see :mod:`repro.reliability.transport` for the protocol and
+:mod:`repro.reliability.detector` for peer-death detection.
+"""
+
+from .detector import FailureDetector, PeerFailed, Watch
+from .transport import ReliabilityConfig, ReliableTransport, hottest_retransmit_flows
+
+__all__ = [
+    "FailureDetector",
+    "PeerFailed",
+    "ReliabilityConfig",
+    "ReliableTransport",
+    "Watch",
+    "hottest_retransmit_flows",
+]
