@@ -1,27 +1,37 @@
 #!/usr/bin/env python3
-"""Fault-tolerant RDMA-like communication with hardware rewind (§IV-F).
+"""Fault-tolerant RDMA-like communication: the full crash-restart cycle.
 
-A producer streams timestep snapshots to a consumer's mailbox.  Mid-way
-through timestep 3, the producer node dies.  The consumer's in-progress
-buffer is dangling, but the failure detector (heartbeat probes over the
-reliability transport) suspects the dead producer within its timeout
-and ``recover_on_failure`` automatically runs ``MPIX_Rewind``: the RVMA
-NIC retains completed epochs, so the computation rolls back to the last
-consistent timestep instead of hanging forever on a completion that
-will never come.
+Act 1 — crash, restart, rejoin.  A producer streams timestep snapshots
+to a consumer's mailbox.  Mid-stream the *consumer's* NIC crashes (LUT,
+buckets, sequence state all destroyed) and restarts a while later.  The
+recovery stack — host-side journals, periodic quiescent checkpoints,
+the rejoin handshake, peer replay — rebuilds the window and replays the
+lost traffic so the consumer's ``wait_completion`` loop never notices:
+every timestep still arrives byte-identical, watched by the runtime
+invariant auditor.
+
+Act 2 — detect, rewind, converge.  Later the *producer* node dies for
+good, mid-timestep.  The failure detector suspects it when the
+heartbeats stop, ``recover_on_failure`` automatically runs
+``MPIX_Rewind`` back to the last hardware-complete epoch, and a
+``coordinated_rewind`` negotiates the recovery line with the (simulated)
+surviving peers — everyone converges on the minimum completed epoch.
 
     python examples/fault_tolerant_rewind.py
 """
 
 from repro import Cluster, FaultInjector, ReliabilityConfig, RvmaApi
-from repro.core import EpochJournal, recover_on_failure
+from repro.core import EpochJournal, coordinated_rewind, recover_on_failure
 from repro.nic.rvma import RvmaNicConfig
+from repro.recovery import InvariantAuditor, RecoveryConfig, RecoveryManager
 from repro.sim import spawn
 from repro.units import fmt_time
 
 MAILBOX = 0x51E9
 STEP_BYTES = 8192
-FAIL_DURING_STEP = 3
+STEPS_BEFORE_DEATH = 6
+CRASH_AT = 22_000.0
+RESTART_AT = 47_000.0
 
 
 def snapshot(step: int) -> bytes:
@@ -31,46 +41,63 @@ def snapshot(step: int) -> bytes:
 
 def main() -> None:
     reliability = ReliabilityConfig(
-        heartbeat_interval=10_000.0, min_suspicion_timeout=60_000.0
+        heartbeat_interval=10_000.0,
+        min_suspicion_timeout=60_000.0,
+        retransmit_timeout=8_000.0,
+        max_backoff=50_000.0,
+        max_retries=10,
     )
     cluster = Cluster.build(
         n_nodes=2, topology="star", nic_type="rvma", fidelity="packet",
         nic_config=RvmaNicConfig(reliability=reliability),
     )
+    auditor = InvariantAuditor().attach(cluster)
+    manager = RecoveryManager(
+        cluster,
+        RecoveryConfig(checkpoint_interval_ns=5_000.0, horizon_ns=400_000.0),
+    ).start()
     producer_api = RvmaApi(cluster.node(0))
     consumer_api = RvmaApi(cluster.node(1))
     injector = FaultInjector(cluster)
+    manager.arm(injector)
+    # Act 1's fault: the consumer NIC dies mid-stream and comes back.
+    injector.crash_restart(1, CRASH_AT, RESTART_AT)
     journal = EpochJournal()
 
     def producer():
         yield 2_000.0
-        for step in range(FAIL_DURING_STEP):
+        for step in range(STEPS_BEFORE_DEATH):
             op = yield from producer_api.put(1, MAILBOX, data=snapshot(step))
             yield op.local_done
             print(f"[{fmt_time(cluster.sim.now)}] producer: timestep {step} sent")
             yield 5_000.0
-        # Timestep 3 starts... and the node dies with half the data out.
-        half = snapshot(FAIL_DURING_STEP)[: STEP_BYTES // 2]
+        # Outlive the consumer's outage: steps sent into the dead window
+        # sit in the retransmit queue and the send journal, and replay
+        # when the consumer rejoins — which needs this node alive.
+        yield RESTART_AT + 30_000.0 - cluster.sim.now
+        # Act 2's fault: the next timestep starts... and the producer
+        # node dies with half the data out.
+        half = snapshot(STEPS_BEFORE_DEATH)[: STEP_BYTES // 2]
         op = yield from producer_api.put(1, MAILBOX, data=half, size=len(half))
         yield op.local_done
         injector.fail_node_at(0, cluster.sim.now + 1.0)
         print(f"[{fmt_time(cluster.sim.now)}] producer: NODE FAILURE mid-timestep "
-              f"{FAIL_DURING_STEP}")
+              f"{STEPS_BEFORE_DEATH}")
 
     def consumer():
         win = yield from consumer_api.init_window(MAILBOX, epoch_threshold=STEP_BYTES)
-        for _ in range(FAIL_DURING_STEP + 2):
+        for _ in range(STEPS_BEFORE_DEATH + 2):
             yield from consumer_api.post_buffer(win, size=STEP_BYTES)
-        for step in range(FAIL_DURING_STEP):
+        for step in range(STEPS_BEFORE_DEATH):
             info = yield from consumer_api.wait_completion(win)
             ok = info.read_data() == snapshot(step)
             epoch = yield from consumer_api.win_get_epoch(win)
             journal.commit(step + 1, epoch - 1)
             print(f"[{fmt_time(cluster.sim.now)}] consumer: timestep {step} "
                   f"complete (epoch {epoch - 1}, intact={ok})")
-        # Timestep 3 will never complete — but we don't sleep and hope:
-        # the failure detector pings the producer, suspects it when the
-        # pongs stop, and recovery fires the moment suspicion does.
+        # The next timestep will never complete — but we don't sleep and
+        # hope: the failure detector pings the producer, suspects it when
+        # the pongs stop, and recovery fires the moment suspicion does.
         recovery = yield from recover_on_failure(consumer_api, win, peer=0)
         failure = recovery.failure
         print(f"[{fmt_time(cluster.sim.now)}] consumer: peer {failure.peer} "
@@ -91,9 +118,35 @@ def main() -> None:
             f"computation resumes from the last completed state"
         )
 
+        # --- cluster-wide convergence: negotiate the recovery line with
+        # the surviving peers' views (here: a straggler one epoch back)
+        outcome = yield from coordinated_rewind(
+            consumer_api, win, peer_epochs=[rewound.epoch - 1]
+        )
+        print(
+            f"[{fmt_time(cluster.sim.now)}] consumer: coordinated rewind — local "
+            f"epoch {outcome.local_epoch}, group minimum {outcome.target_epoch}, "
+            f"stepped back {outcome.epochs_back} (converged={outcome.ok})"
+        )
+
     spawn(cluster.sim, producer(), "producer")
     spawn(cluster.sim, consumer(), "consumer")
     cluster.sim.run()
+
+    # --- Act 1's report: the crash-restart really happened and healed.
+    nic1 = cluster.node(1).nic
+    rejoin = manager.report.rejoins[0]
+    print(
+        f"consumer crash-restart: incarnation {nic1.incarnation}, "
+        f"{rejoin.mailboxes_restored} mailbox(es) restored, "
+        f"{rejoin.peers_greeted} peer(s) greeted, "
+        f"replay holes: {len(manager.report.replay_holes)}"
+    )
+    audit = auditor.report()
+    print(
+        f"auditor: {audit['checked']['placements']} placements checked, "
+        f"violations={len(audit['violations'])} (clean={audit['ok']})"
+    )
     print(f"done at {fmt_time(cluster.sim.now)}; "
           f"node 0 dead={injector.node_is_dead(0)}")
 

@@ -37,6 +37,7 @@ from .core import (
 )
 from .faults import ChaosSchedule, FaultInjector
 from .motifs import AllreduceMotif, Halo3D, Incast, RdmaProtocol, RvmaProtocol, Sweep3D
+from .recovery import InvariantAuditor, RecoveryConfig, RecoveryManager
 from .reliability import FailureDetector, PeerFailed, ReliabilityConfig
 from .mpi import MpiRma, RankWindow, RewindUnsupportedError
 from .network import NetworkConfig, RoutingMode, make_topology
@@ -56,12 +57,15 @@ __all__ = [
     "FaultInjector",
     "Halo3D",
     "Incast",
+    "InvariantAuditor",
     "MpiRma",
     "NetworkConfig",
     "Node",
     "PeerFailed",
     "RankWindow",
     "RdmaProtocol",
+    "RecoveryConfig",
+    "RecoveryManager",
     "ReliabilityConfig",
     "RewindUnsupportedError",
     "RoutingMode",

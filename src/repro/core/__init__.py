@@ -4,11 +4,14 @@ from ..nic.lut import BufferMode, EpochType, RetiredBuffer
 from .addressing import PID_SHIFT, RvmaAddress, resolve_destination
 from .api import RvmaApi, execute
 from .fault_tolerance import (
+    CoordinatedRewind,
     EpochJournal,
     RecoveryResult,
     RewindResult,
+    coordinated_rewind,
     latest_consistent_epoch,
     mpix_rewind,
+    negotiate_consistent_epoch,
     recover_on_failure,
 )
 from .receiver_managed import StreamClient, StreamServer
@@ -21,6 +24,7 @@ __all__ = [
     "RvmaAddress",
     "resolve_destination",
     "CompletionInfo",
+    "CoordinatedRewind",
     "EpochJournal",
     "EpochType",
     "PostedRecord",
@@ -35,7 +39,9 @@ __all__ = [
     "StreamServer",
     "Window",
     "alloc_notification_slot",
+    "coordinated_rewind",
     "execute",
     "latest_consistent_epoch",
     "mpix_rewind",
+    "negotiate_consistent_epoch",
 ]

@@ -272,6 +272,19 @@ class RvmaApi:
         detector = self.nic.detector
         return detector is not None and detector.is_suspected(peer)
 
+    def reinstate_peer(self, peer: int) -> None:
+        """Clear suspicion of *peer* after it crash-restarted and
+        rejoined (no-op when not suspected or no detector).
+
+        The recovery stack (:mod:`repro.recovery`) does this
+        automatically when it services the peer's rejoin hello; this is
+        the manual escape hatch for applications running their own
+        membership protocol.
+        """
+        detector = self.nic.detector
+        if detector is not None:
+            detector.reinstate(peer)
+
     # ------------------------------------------------------------------ extensions
 
     def set_catch_all(self, win: Window) -> Generator:

@@ -91,6 +91,69 @@ def recover_on_failure(
     )
 
 
+@dataclass
+class CoordinatedRewind:
+    """Outcome of a multi-party rewind after a crash-restart."""
+
+    #: newest epoch every participant completed (the agreed target).
+    target_epoch: int
+    #: this rank's newest locally completed epoch before rewinding.
+    local_epoch: int
+    #: how many completions back the target lies from here.
+    epochs_back: int
+    #: the recovered buffer, or None when the NIC no longer retains the
+    #: target epoch (out of ``retain_epochs`` — unrecoverable by rewind).
+    rewound: Optional[RewindResult]
+
+    @property
+    def ok(self) -> bool:
+        """Recovered (or nothing had completed anywhere, so nothing to)."""
+        return self.target_epoch < 0 or self.rewound is not None
+
+
+def negotiate_consistent_epoch(epoch_views) -> int:
+    """The globally consistent epoch from every participant's view.
+
+    Each view is a rank's newest *locally completed* epoch (e.g. its own
+    :func:`latest_consistent_epoch`, or the epochs a restarted peer
+    advertised in its :class:`~repro.nic.headers.RejoinHello`).  No
+    participant can roll *forward*, so the group state every rank can
+    reach is the minimum — the classic recovery-line argument.
+    """
+    views = list(epoch_views)
+    if not views:
+        raise ValueError("need at least one epoch view to negotiate")
+    return min(int(v) for v in views)
+
+
+def coordinated_rewind(api: RvmaApi, win: Window, peer_epochs) -> Generator:
+    """Rewind *win* to the epoch consistent with *peer_epochs*.
+
+    *peer_epochs* are the peers' newest-completed-epoch views (typically
+    harvested from rejoin hellos via
+    :meth:`repro.recovery.rejoin.RecoveryReport`).  Negotiates
+    ``target = min(local, peers)`` and fetches that epoch's buffer; a
+    rank already at the target performs a 1-back rewind's worth of
+    bookkeeping but no data fetch (``epochs_back == 0``).
+
+    Drive in a SimProcess; resolves to :class:`CoordinatedRewind`.
+    """
+    local = yield from latest_consistent_epoch(api, win)
+    target = negotiate_consistent_epoch([local, *peer_epochs])
+    back = local - target
+    rewound: Optional[RewindResult] = None
+    if back >= 0 and target >= 0:
+        # retired[-1] is epoch ``local``; the target is ``back + 1``
+        # completions before the in-progress epoch.
+        rewound = yield from mpix_rewind(api, win, epochs_back=back + 1)
+    return CoordinatedRewind(
+        target_epoch=target,
+        local_epoch=local,
+        epochs_back=max(back, 0),
+        rewound=rewound,
+    )
+
+
 class EpochJournal:
     """Host-side journal mapping application steps to window epochs.
 

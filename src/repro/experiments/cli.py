@@ -25,7 +25,7 @@ from .ablations import (
     run_ablation_threshold,
     run_ablation_write_imm,
 )
-from .chaos import run_chaos
+from .chaos import run_chaos, run_crash_restart
 from .charts import chart_for_result
 from .fault_recovery import run_fault_recovery
 from .fig45 import run_fig4, run_fig5
@@ -44,6 +44,19 @@ def _fig8_runner(args) -> ExperimentResult:
     return run_fig8(n_nodes=args.nodes, jobs=args.jobs)
 
 
+def _seeds_of(args) -> tuple:
+    """One pinned seed from ``--seed``, or the default matrix."""
+    return (args.seed,) if args.seed is not None else (1, 2, 3)
+
+
+def _chaos_runner(args) -> ExperimentResult:
+    return run_chaos(seeds=_seeds_of(args))
+
+
+def _chaos_crash_runner(args) -> ExperimentResult:
+    return run_crash_restart(seeds=_seeds_of(args))
+
+
 RUNNERS: dict[str, Callable] = {
     "fig4": lambda args: run_fig4(),
     "fig5": lambda args: run_fig5(),
@@ -56,7 +69,8 @@ RUNNERS: dict[str, Callable] = {
     "ablation-write-imm": lambda args: run_ablation_write_imm(),
     "fault-recovery": lambda args: run_fault_recovery(),
     "ablation-pcie": lambda args: run_ablation_pcie(),
-    "chaos": lambda args: run_chaos(),
+    "chaos": _chaos_runner,
+    "chaos-crash": _chaos_crash_runner,
 }
 
 
@@ -83,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the motif grids (each cell is an independent simulation)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="pin the chaos/chaos-crash sweeps to a single seed "
+        "(default: the fixed 3-seed matrix); lets CI shard seeds "
+        "and failures replay exactly",
     )
     args = parser.parse_args(argv)
     if args.paper_scale:

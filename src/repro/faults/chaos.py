@@ -25,10 +25,10 @@ from .injectors import FaultInjector
 class ChaosEvent:
     """One planned fault."""
 
-    kind: str  # "link_flap" | "switch_failure" | "partition"
+    kind: str  # "link_flap" | "switch_failure" | "partition" | "crash_restart"
     start: float
-    end: float
-    params: tuple  # kind-specific: link (u, v), switch (id,), partition (nodes...)
+    end: float  # crash_restart: the restart time
+    params: tuple  # kind-specific: link (u, v), switch (id,), partition/crash (nodes...)
 
     def describe(self) -> str:
         if self.kind == "link_flap":
@@ -36,6 +36,11 @@ class ChaosEvent:
             tgt = f"sw{u}<->sw{v}"
         elif self.kind == "switch_failure":
             tgt = f"sw{self.params[0]}"
+        elif self.kind == "crash_restart":
+            return (
+                f"crash_restart node {self.params[0]} crash@{self.start:.0f}ns "
+                f"restart@{self.end:.0f}ns"
+            )
         else:
             tgt = "nodes {" + ",".join(str(p) for p in self.params) + "}"
         return f"{self.kind} {tgt} @ [{self.start:.0f}, {self.end:.0f})ns"
@@ -59,11 +64,21 @@ class ChaosSchedule:
         drop_prob: float = 0.0,
         kinds: tuple = ("link_flap", "switch_failure", "partition"),
         stream: str = "chaos",
+        n_crashes: int = 0,
+        crash_min_start_ns: float = 40_000.0,
+        crash_window_ns: tuple = (15_000.0, 40_000.0),
     ) -> "ChaosSchedule":
         """Draw a random schedule from the cluster's named RNG streams.
 
         Deterministic per (simulator seed, stream, parameters); the
         same cluster seed always suffers the same chaos.
+
+        ``n_crashes`` adds crash-restart events: a random node
+        crash-stops no earlier than ``crash_min_start_ns`` (so recovery
+        checkpoints have had time to exist) and restarts after a down
+        time drawn from ``crash_window_ns``.  Down times stay inside
+        the reliability layer's retry-budget coverage, like fabric
+        fault windows.
         """
         if max_window_ns < min_window_ns:
             raise ValueError("max_window_ns must be >= min_window_ns")
@@ -71,6 +86,15 @@ class ChaosSchedule:
         topo = cluster.topology
         links = sorted({tuple(sorted(l)) for l in topo.links()})
         events: list[ChaosEvent] = []
+        for _ in range(n_crashes):
+            node = rng.choice(f"{stream}.crash.node", cluster.n_nodes)
+            lo, hi = crash_window_ns
+            down = lo + rng.random(f"{stream}.crash.len") * (hi - lo)
+            span = max(horizon_ns - crash_min_start_ns - down, 0.0)
+            start = crash_min_start_ns + rng.random(f"{stream}.crash.start") * span
+            events.append(
+                ChaosEvent(kind="crash_restart", start=start, end=start + down, params=(node,))
+            )
         for _ in range(n_events):
             kind = kinds[rng.choice(f"{stream}.kind", len(kinds))]
             span = min_window_ns + rng.random(f"{stream}.len") * (
@@ -98,6 +122,8 @@ class ChaosSchedule:
                 injector.flap_link(ev.params[0], ev.params[1], [(ev.start, ev.end)])
             elif ev.kind == "switch_failure":
                 injector.fail_switch(ev.params[0], ev.start, ev.end)
+            elif ev.kind == "crash_restart":
+                injector.crash_restart(ev.params[0], ev.start, ev.end)
             else:
                 injector.partition(ev.params, ev.start, ev.end)
         if self.drop_prob:

@@ -46,6 +46,9 @@ class FaultLog:
     """What the injector actually did (for test assertions)."""
 
     node_failures: list[tuple[int, float]] = field(default_factory=list)
+    #: crash-stop events: (node, time) per crash and per restart.
+    crashes: list[tuple[int, float]] = field(default_factory=list)
+    restarts: list[tuple[int, float]] = field(default_factory=list)
     messages_dropped: int = 0
     payloads_corrupted: int = 0
     #: drops attributed to scheduled fault windows, by kind.
@@ -88,6 +91,10 @@ class FaultInjector:
         self._corrupt_selector: Optional[Selector] = None
         self._windows: list[FaultWindow] = []
         self._dead_nodes: set[int] = set()
+        #: recovery hooks: fired with the node id after a crash/restart
+        #: takes effect (the recovery manager arms these).
+        self.on_crash: list[Callable[[int], None]] = []
+        self.on_restart: list[Callable[[int], None]] = []
         #: static-route cache for link/switch window matching.
         self._route_cache: dict[tuple[int, int], list[int]] = {}
         self._active = False
@@ -113,6 +120,47 @@ class FaultInjector:
     def node_is_dead(self, node_id: int) -> bool:
         """Whether *node_id* has been killed by this injector."""
         return node_id in self._dead_nodes
+
+    # --- crash-stop with restart ------------------------------------------------------
+
+    def fail_node(self, node_id: int, at: Optional[float] = None) -> None:
+        """Crash-stop *node_id*: atomically destroy its NIC state (LUT,
+        in-flight ops, reliability flows) in addition to dropping
+        traffic.  Unlike :meth:`fail_node_at` (flag-only, permanent
+        fail-silent), a crash-stopped node can be brought back with
+        :meth:`restart_node` — amnesiac until the recovery protocol
+        rejoins it (:mod:`repro.recovery`)."""
+
+        def do() -> None:
+            self.cluster.node(node_id).nic.crash()
+            self._dead_nodes.add(node_id)
+            self.log.crashes.append((node_id, self.sim.now))
+            self.sim.stats.counter("faults.crashes").add()
+            for cb in list(self.on_crash):
+                cb(node_id)
+
+        self.sim.schedule_at(self.sim.now if at is None else at, do)
+
+    def restart_node(self, node_id: int, at: Optional[float] = None) -> None:
+        """Restart a crash-stopped node: it accepts traffic again but
+        knows nothing until its recovery agent rejoins its peers."""
+
+        def do() -> None:
+            self.cluster.node(node_id).nic.restart()
+            self._dead_nodes.discard(node_id)
+            self.log.restarts.append((node_id, self.sim.now))
+            self.sim.stats.counter("faults.restarts").add()
+            for cb in list(self.on_restart):
+                cb(node_id)
+
+        self.sim.schedule_at(self.sim.now if at is None else at, do)
+
+    def crash_restart(self, node_id: int, crash_at: float, restart_at: float) -> None:
+        """Schedule a full crash-stop + restart cycle for one node."""
+        if restart_at <= crash_at:
+            raise ValueError("restart must come after the crash")
+        self.fail_node(node_id, at=crash_at)
+        self.restart_node(node_id, at=restart_at)
 
     # --- i.i.d. fabric faults -------------------------------------------------------
 
@@ -296,6 +344,10 @@ class FaultInjector:
         ]
         for node, t in self.log.node_failures:
             lines.append(f"node {node} killed at {t:.0f}ns")
+        for node, t in self.log.crashes:
+            lines.append(f"node {node} crash-stopped at {t:.0f}ns")
+        for node, t in self.log.restarts:
+            lines.append(f"node {node} restarted at {t:.0f}ns")
         for kind, start, end, label in self.log.windows:
             hits = self.log.window_drops.get(kind, 0)
             end_s = "inf" if math.isinf(end) else f"{end:.0f}"

@@ -72,6 +72,13 @@ class BaseNic(Component):
         #: Set by fault injection: a failed NIC drops all traffic and
         #: refuses host commands.
         self.failed = False
+        #: Count of crash-restarts survived (stamps rejoin handshakes so
+        #: stale pre-crash state is never mistaken for the new life).
+        self.incarnation = 0
+        #: Opt-in runtime invariant auditor
+        #: (:class:`repro.recovery.auditor.InvariantAuditor`).  None by
+        #: default: the hot paths only pay an attribute check.
+        self.auditor = None
         #: Reliability layer (None when running the lossless happy path).
         self.transport: Optional[ReliableTransport] = None
         self.detector: Optional[FailureDetector] = None
@@ -89,6 +96,42 @@ class BaseNic(Component):
         """Simulate node death: all subsequent traffic is dropped."""
         self.failed = True
         self.stat("failed").add()
+
+    def crash(self) -> None:
+        """Crash-stop: drop traffic *and* atomically destroy the NIC's
+        volatile state (LUT, in-flight ops, reliability flows).
+
+        Unlike :meth:`fail`, a crashed NIC can come back via
+        :meth:`restart` — but it comes back empty: everything it knew
+        must be rebuilt by the recovery protocol
+        (:mod:`repro.recovery`).  Host memory survives (it is host
+        memory), as do host-side journals/checkpoints.
+        """
+        self.failed = True
+        self.incarnation += 1
+        self.stat("crashes").add()
+        self._destroy_volatile_state()
+        if self.transport is not None:
+            # The old flows died with the NIC: silence their timers so
+            # a zombie transport cannot retransmit or raise suspicion
+            # after the node comes back.
+            self.transport.shutdown()
+            self.detector.shutdown()
+            # A fresh transport takes over immediately so host sends
+            # issued while the node is down are still sequenced and
+            # journaled (the recovery agent re-seeds sequence numbers).
+            self.transport = ReliableTransport(self, self.config.reliability)
+            self.detector = FailureDetector(self, self.transport, self.config.reliability)
+
+    def restart(self) -> None:
+        """Bring a crashed node back (still amnesiac until rejoined)."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.stat("restarts").add()
+
+    def _destroy_volatile_state(self) -> None:
+        """Subclass hook: wipe NIC-resident state lost in a crash."""
 
     def _on_delivery(self, delivery: Delivery) -> None:
         if self.failed:
@@ -111,6 +154,27 @@ class BaseNic(Component):
         enveloped traffic, so this is a plain handler lookup.
         """
         self._handle(delivery)
+
+    def flow_ordered(self, flow: int) -> bool:
+        """Whether the reliability transport must deliver *flow* in
+        strict sequence order.  Receiver-Managed (stream-append) windows
+        need it — append order is the data; Receiver-Steered windows are
+        offset-addressed and tolerant of reordering (paper §IV-B)."""
+        return False
+
+    def flow_room(self, flow: int) -> Optional[int]:
+        """Free receive room for *flow* in bytes, or ``None`` when the
+        flow is not receiver-paced.  Ordered (Receiver-Managed) flows
+        report their bucket's remaining append capacity so the
+        reliability transport can hold a message that would not fit
+        whole — a partial append NACKed mid-message would otherwise
+        duplicate its placed prefix on retry."""
+        return None
+
+    def pipeline_quiescent(self) -> bool:
+        """Whether no received data is still in flight inside the NIC's
+        DMA pipeline (checkpoints only snapshot quiescent pipelines)."""
+        return True
 
     def on_peer_suspected(self, record: PeerFailed) -> None:
         """Failure-detector hook: *record.peer* is presumed dead.

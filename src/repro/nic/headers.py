@@ -119,6 +119,46 @@ class HeartbeatHeader:
     seq: int
 
 
+# --- crash-restart rejoin ------------------------------------------------------
+#
+# After a crash-restart (:meth:`repro.nic.base.BaseNic.crash` +
+# ``restart``) the node's recovery agent re-registers its mailboxes from
+# the host-side journal/checkpoint and then negotiates a consistent
+# resume point with every peer.  Both headers ride *inside* the
+# reliability envelope, so the rejoin handshake itself survives a lossy
+# fabric.
+
+
+@dataclass(frozen=True)
+class RejoinHello:
+    """Restarted node -> peer: "here is what I still know".
+
+    ``rx_cums`` maps this node's receive flows *from the peer* to the
+    restored cumulative sequence number — the peer must replay its send
+    journal beyond each.  ``epochs`` maps restored mailbox -> epoch (the
+    globally consistent epoch negotiation input; diagnostics/rewind).
+    """
+
+    node: int
+    incarnation: int
+    rx_cums: tuple  # ((flow, cum), ...) for flows peer -> this node
+    epochs: tuple = ()  # ((mailbox, epoch), ...) restored local windows
+
+
+@dataclass(frozen=True)
+class RejoinReply:
+    """Peer -> restarted node: "here is what I have from you".
+
+    ``rx_cums`` maps the peer's receive flows *from the restarted node*
+    to its cumulative sequence number; the restarted node replays its
+    own journal beyond each so nothing it sent pre-crash is lost.
+    """
+
+    node: int
+    incarnation: int
+    rx_cums: tuple  # ((flow, cum), ...) for flows this node -> peer
+
+
 # --- RDMA --------------------------------------------------------------------
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..memory.address import RVMA_ADDR_MASK
 from ..memory.buffer import HostBuffer, PostedBuffer
 from ..memory.memory import NodeMemory
 from ..network.fabric import BaseFabric
@@ -113,10 +114,78 @@ class RvmaNic(BaseNic):
 
         self._put_order: "_deque[int]" = _deque()
         self.nacks_received: list[RvmaNackHeader] = []
+        #: crash-restart recovery: duck-typed host-side journal of
+        #: window-structure commands (:class:`repro.recovery.checkpoint.OpJournal`).
+        #: None (the default) costs one attribute check per command.
+        self.op_journal = None
+        #: puts admitted by the transport/fabric but whose DMA placement
+        #: is still in the PCIe pipeline; checkpoints must not land in
+        #: that gap (the rx cum would count bytes the LUT hasn't seen).
+        self._inflight_admits = 0
+        #: per-mailbox bytes in that same gap for MANAGED flows, so
+        #: :meth:`flow_room` does not double-count room the pipeline
+        #: has already promised to in-flight appends.
+        self._inflight_flow_bytes: dict[int, int] = {}
         self.register_handler(RvmaPutHeader, self._on_put)
         self.register_handler(RvmaGetHeader, self._on_get)
         self.register_handler(RvmaGetReply, self._on_get_reply)
         self.register_handler(RvmaNackHeader, self._on_nack)
+
+    # ------------------------------------------------------------------ crash-restart
+
+    def _destroy_volatile_state(self) -> None:
+        """Crash-stop: everything NIC-resident is gone.
+
+        The LUT (mailboxes, buckets, retained epochs), in-flight op
+        tracking and retry state all die with the hardware; outstanding
+        gets resolve False so host software blocks on a completion, not
+        forever.  Host memory and host-side journals survive — that is
+        what the recovery protocol rebuilds from.
+        """
+        for op in list(self._gets.values()):
+            if not op.done.done:
+                op.done.resolve(False)
+        self._gets.clear()
+        self._puts.clear()
+        self._put_order.clear()
+        self._op_bytes.clear()
+        self.nacks_received.clear()
+        self.lut = MailboxLUT(
+            max_entries=self.cfg.lut_entries,
+            max_counters=self.cfg.nic_counters,
+            retain_epochs=self.cfg.retain_epochs,
+        )
+
+    def flow_ordered(self, flow: int) -> bool:
+        # Peek the table directly: this is transport bookkeeping, not an
+        # RVMA probe, so it must not perturb the LUT lookup counters.
+        entry = self.lut.entries.get(flow & RVMA_ADDR_MASK)
+        return entry is not None and entry.mode is BufferMode.MANAGED
+
+    def flow_room(self, flow: int) -> Optional[int]:
+        """Free append room in a MANAGED flow's bucket (``None`` when the
+        flow is not receiver-paced).
+
+        The transport holds an ordered message until the whole thing
+        fits: a partial append followed by a NO_BUFFER NACK would leave
+        the placed prefix behind, and the initiator's retry would then
+        duplicate those bytes at a later stream position.  Capacity is
+        clamped to the journaled replay boundary during rejoin replay,
+        and bytes still in the PCIe admit gap are already spoken for.
+        """
+        entry = self.lut.entries.get(flow & RVMA_ADDR_MASK)
+        if entry is None or entry.mode is not BufferMode.MANAGED:
+            return None
+        room = 0
+        for buf in entry.queue:
+            cap = buf.buffer.size
+            if (
+                getattr(buf, "replay_boundary", False)
+                and entry.threshold_type is EpochType.EPOCH_BYTES
+            ):
+                cap = min(cap, buf.threshold)
+            room += max(cap - buf.bytes_received, 0)
+        return max(room - self._inflight_flow_bytes.get(entry.mailbox, 0), 0)
 
     # ------------------------------------------------------------------ host API
     # All host-initiated commands return Futures resolved after the
@@ -137,6 +206,8 @@ class RvmaNic(BaseNic):
             except LutError as exc:
                 fut.resolve(exc)
                 return
+            if self.op_journal is not None:
+                self.op_journal.note_init(entry.mailbox, threshold_type, mode)
             self.trace("init_window", mailbox=mailbox)
             fut.resolve(entry)
 
@@ -167,7 +238,11 @@ class RvmaNic(BaseNic):
                 threshold=threshold,
             )
             self.lut.post(entry, pb)
+            if self.op_journal is not None:
+                self.op_journal.note_post(entry.mailbox, pb)
             self.stat("buffers_posted").add()
+            if self.transport is not None:
+                self.transport.on_buffer_posted(entry.mailbox)
             fut.resolve(pb)
 
         self.sim.schedule(self.cfg.issue_latency(), do)
@@ -181,6 +256,8 @@ class RvmaNic(BaseNic):
             entry = self.lut.lookup(mailbox)
             if entry is not None:
                 entry.closed = True
+                if self.op_journal is not None:
+                    self.op_journal.note_close(entry.mailbox)
             fut.resolve(entry is not None)
 
         self.sim.schedule(self.cfg.issue_latency(), do)
@@ -195,6 +272,13 @@ class RvmaNic(BaseNic):
         def do() -> None:
             entry = self.lut.lookup(mailbox)
             if entry is None or entry.active is None:
+                fut.resolve(None)
+                return
+            if getattr(entry.active, "replay_boundary", False):
+                # Rejoin replay in progress: the active buffer must close
+                # at its journaled boundary, not wherever this flush
+                # happens to land.  The caller's wait_completion blocks
+                # until replay re-creates the epoch it is waiting for.
                 fut.resolve(None)
                 return
             record = self._complete_active(entry)
@@ -259,6 +343,8 @@ class RvmaNic(BaseNic):
         def do() -> None:
             entry = self.lut.lookup(mailbox)
             self.lut.set_catch_all(entry)
+            if entry is not None and self.op_journal is not None:
+                self.op_journal.note_catch_all(entry.mailbox)
             fut.resolve(entry is not None)
 
         self.sim.schedule(self.cfg.issue_latency(), do)
@@ -287,7 +373,12 @@ class RvmaNic(BaseNic):
         self._puts[hdr.op_id] = op
         self._put_order.append(hdr.op_id)
         while len(self._put_order) > self.cfg.put_window:
-            self._puts.pop(self._put_order.popleft(), None)
+            evicted = self._puts.pop(self._put_order.popleft(), None)
+            if evicted is not None:
+                # The op can no longer be matched to a late NACK: its
+                # retry state is gone.  Silent before; now accounted so
+                # the chaos audit can flag undersized put windows.
+                self.stat("put_window_evictions").add()
 
         def issue() -> None:
             self._inject_now(dst, size, hdr, data, mode)
@@ -378,13 +469,38 @@ class RvmaNic(BaseNic):
         # LUT resolution happens atomically with placement so an epoch
         # completing in the gap steers this data to the *new* active
         # buffer (as the hardware pipeline would).
+        self._inflight_admits += 1
+        mailbox = hdr.mailbox & RVMA_ADDR_MASK
+        peek = self.lut.entries.get(mailbox)
+        if peek is not None and peek.mode is BufferMode.MANAGED:
+            self._inflight_flow_bytes[mailbox] = (
+                self._inflight_flow_bytes.get(mailbox, 0) + nbytes
+            )
         self.sim.schedule(
             self.pcie.latency, self._admit_put, hdr, msg.src, frag_off, nbytes, data
         )
 
+    def pipeline_quiescent(self) -> bool:
+        """No placement is between fabric admission and DMA landing."""
+        return self._inflight_admits == 0
+
     def _admit_put(
         self, hdr: RvmaPutHeader, src: int, frag_off: int, nbytes: int, data: bytes
     ) -> None:
+        self._inflight_admits -= 1
+        mailbox = hdr.mailbox & RVMA_ADDR_MASK
+        if mailbox in self._inflight_flow_bytes:
+            left = self._inflight_flow_bytes[mailbox] - nbytes
+            if left > 0:
+                self._inflight_flow_bytes[mailbox] = left
+            else:
+                del self._inflight_flow_bytes[mailbox]
+        if self.failed:
+            # The NIC crashed in the pipeline gap between arrival and
+            # DMA placement: the data dies with it (the reliability
+            # layer will retransmit into the next incarnation).
+            self.stat("rx_dropped_failed").add()
+            return
         entry, buf = self._resolve_target(hdr, src)
         if entry is None:
             self.stat("puts_discarded").add()
@@ -425,6 +541,9 @@ class RvmaNic(BaseNic):
                 buf.counter += 1
             else:
                 self._op_bytes[hdr.op_id] = got
+        aud = self.auditor
+        if aud is not None:
+            aud.on_place(self, entry, buf, place_off, nbytes, data)
         if buf.counter >= buf.threshold > 0:
             self._complete_active(entry)
 
@@ -457,14 +576,30 @@ class RvmaNic(BaseNic):
                 self._nack(src, hdr, NackReason.NO_BUFFER)
                 return
             room = buf.buffer.size - buf.bytes_received
+            if (
+                getattr(buf, "replay_boundary", False)
+                and entry.threshold_type is EpochType.EPOCH_BYTES
+            ):
+                # Rejoin replay: this buffer's epoch originally closed at
+                # a journaled byte boundary (possibly a flush mid-chunk);
+                # stop the append there so the rebuilt stream tiles the
+                # buckets exactly as the first run did.
+                room = min(room, max(buf.threshold - buf.counter, 0))
             take = min(room, nbytes)
             if take > 0:
+                append_at = buf.bytes_received
                 if data:
-                    buf.buffer.write(buf.bytes_received, data[consumed : consumed + take])
+                    buf.buffer.write(append_at, data[consumed : consumed + take])
                 buf.bytes_received += take
                 self.stat("bytes_placed").add(take)
                 if entry.threshold_type is EpochType.EPOCH_BYTES:
                     buf.counter += take
+                aud = self.auditor
+                if aud is not None:
+                    aud.on_place(
+                        self, entry, buf, append_at, take,
+                        data[consumed : consumed + take] if data else b"",
+                    )
                 consumed += take
                 nbytes -= take
             if entry.threshold_type is EpochType.EPOCH_OPS and nbytes == 0:
@@ -474,8 +609,13 @@ class RvmaNic(BaseNic):
                     buf.counter += 1
                 else:
                     self._op_bytes[hdr.op_id] = got
-            if buf.counter >= buf.threshold > 0 or (
-                take == 0 and buf.bytes_received >= buf.buffer.size
+            if (
+                buf.counter >= buf.threshold > 0
+                or (take == 0 and buf.bytes_received >= buf.buffer.size)
+                or (
+                    getattr(buf, "replay_boundary", False)
+                    and buf.counter >= buf.threshold
+                )
             ):
                 self._complete_active(entry)
 
@@ -484,6 +624,13 @@ class RvmaNic(BaseNic):
         spill_penalty = self.pcie.round_trip() if entry.counter_spilled else 0.0
         record = self.lut.retire_active(entry)
         self.stat("epochs_completed").add()
+        if self.op_journal is not None:
+            self.op_journal.note_retire(
+                entry.mailbox, record.epoch, record.buffer.counter, record.length
+            )
+        aud = self.auditor
+        if aud is not None:
+            aud.on_epoch_complete(self, entry, record)
         if entry.counter_spilled:
             self.stat("spilled_completions").add()
         pb = record.buffer
@@ -498,6 +645,13 @@ class RvmaNic(BaseNic):
             record,
         )
         self.trace("epoch_complete", mailbox=entry.mailbox, epoch=record.epoch)
+        # Replay cascade: a restored successor pinned at an
+        # already-satisfied boundary (e.g. a zero-length flush epoch)
+        # retires the moment it becomes active, keeping the rebuilt
+        # epoch numbering aligned with the original run.
+        nxt = entry.active
+        if nxt is not None and getattr(nxt, "replay_boundary", False) and nxt.counter >= nxt.threshold:
+            self._complete_active(entry)
         return record
 
     def _write_completion(self, pb: PostedBuffer, record: RetiredBuffer) -> None:
@@ -586,4 +740,12 @@ class RvmaNic(BaseNic):
                 op.dst, op.size, resend, data, mode, after=self.cfg.put_retry_timeout
             )
             return
+        if (
+            hdr.reason in (NackReason.NO_BUFFER, NackReason.NO_MAILBOX)
+            and self.cfg.retry_no_buffer
+            and op.retry
+        ):
+            # Retryable reason, but the retry budget is spent: a give-up,
+            # distinct from non-retryable losses (CLOSED/OUT_OF_BOUNDS).
+            self.stat("put_giveups").add()
         self.stat("puts_lost").add()

@@ -1,0 +1,42 @@
+"""Crash-restart recovery: checkpoints, rejoin protocol, invariant audit.
+
+Three pieces, composable but independent:
+
+* :mod:`repro.recovery.checkpoint` — host-side journals (window
+  structure, reliable sends) and periodic NIC-state snapshots;
+* :mod:`repro.recovery.rejoin` — the restore + rejoin + replay protocol
+  that brings a crash-stopped node back into a consistent cluster;
+* :mod:`repro.recovery.auditor` — an opt-in runtime shadow checker for
+  the placement/recovery invariants (byte conservation, no double
+  placement, monotone counters, epoch consistency).
+"""
+
+from .auditor import AuditError, InvariantAuditor, Violation
+from .checkpoint import (
+    CheckpointDaemon,
+    NodeCheckpoint,
+    OpJournal,
+    SendJournal,
+)
+from .rejoin import (
+    RecoveryAgent,
+    RecoveryConfig,
+    RecoveryManager,
+    RecoveryReport,
+    RejoinRecord,
+)
+
+__all__ = [
+    "AuditError",
+    "CheckpointDaemon",
+    "InvariantAuditor",
+    "NodeCheckpoint",
+    "OpJournal",
+    "RecoveryAgent",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "RecoveryReport",
+    "RejoinRecord",
+    "SendJournal",
+    "Violation",
+]

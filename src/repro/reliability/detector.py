@@ -129,6 +129,31 @@ class FailureDetector:
         """Immediate suspicion (e.g. transport retry budget exhausted)."""
         self._suspect(peer, reason)
 
+    def reinstate(self, peer: int) -> None:
+        """Un-suspect *peer*: it crashed, restarted and rejoined.
+
+        Clears the suspicion record and liveness history so a fresh
+        :meth:`watch` starts from scratch.  Old watches stay resolved —
+        a ``PeerFailed`` the application already consumed is history,
+        not state — and a new watch must be started explicitly.
+        """
+        if self.suspected.pop(peer, None) is None:
+            return
+        self._watches.pop(peer, None)
+        self._smoothed.pop(peer, None)
+        self._last_heard[peer] = self.sim.now
+        self.nic.stat("peers_reinstated").add()
+        self.sim.stats.counter("reliability.peers_reinstated").add()
+        self.nic.trace("peer_reinstated", peer=peer)
+
+    def shutdown(self) -> None:
+        """Deactivate this detector forever (its NIC crashed): every
+        watch is cancelled so pending ping loops unwind silently."""
+        for w in self._watches.values():
+            w.active = False
+        self._watches.clear()
+        self._callbacks.clear()
+
     # ------------------------------------------------------------------ internals
 
     def _tick(self, w: Watch) -> None:

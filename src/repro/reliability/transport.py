@@ -95,6 +95,8 @@ class _RxPartial:
     inner_msg: Message
     offsets: set = field(default_factory=set)
     bytes_got: int = 0
+    #: ordered flows: (offset, Delivery) withheld until dispatch time.
+    frags: list = field(default_factory=list)
 
 
 @dataclass
@@ -102,6 +104,10 @@ class _RxFlow:
     cum: int = 0  # every seq <= cum fully delivered
     complete: set = field(default_factory=set)  # out-of-order completed seqs
     partial: dict = field(default_factory=dict)  # seq -> _RxPartial
+    #: ordered flows only: next seq the NIC may see, and fully-arrived
+    #: messages held back until their turn (seq -> fragment list).
+    next_dispatch: int = 1
+    held: dict = field(default_factory=dict)
 
     def advance(self, seq: int) -> None:
         """Mark *seq* fully delivered and slide the cumulative edge."""
@@ -135,6 +141,11 @@ class ReliableTransport:
         self.on_give_up: Optional[Callable[[int, str], None]] = None
         #: invoked with the peer id on every receipt (liveness proof).
         self.on_heard_from: Optional[Callable[[int], None]] = None
+        #: crash-restart recovery: duck-typed send journal
+        #: (:class:`repro.recovery.checkpoint.SendJournal`); every
+        #: :meth:`send` is recorded so a rejoin can replay it.
+        self.journal = None
+        self._shutdown = False
         self._hb_seq = 0
         nic.register_handler(SeqHeader, self._on_seq)
         nic.register_handler(ReliAckHeader, self._on_ack)
@@ -180,6 +191,8 @@ class ReliableTransport:
             timeout=self.cfg.retransmit_timeout,
         )
         fl.pending[seq] = rec
+        if self.journal is not None:
+            self.journal.note_send(dst, flow, seq, size, header, data, mode)
         self._stat("rel_tx")
         return self._transmit(rec)
 
@@ -285,14 +298,61 @@ class ReliableTransport:
             )
         part.offsets.add(frag_key)
         part.bytes_got += got
-        self.nic.dispatch_inner(
-            Delivery(part.inner_msg, delivery.info, packet=inner_pkt)
-        )
+        item = Delivery(part.inner_msg, delivery.info, packet=inner_pkt)
+        ordered = self.nic.flow_ordered(env.flow)
+        if ordered:
+            # Receiver-Managed flows: appends must land in stream order,
+            # so hold every fragment until the message is complete and
+            # the sequence number is next in line.
+            part.frags.append((frag_key, item))
+        else:
+            self.nic.dispatch_inner(item)
         if part.bytes_got >= part.inner_msg.size:
             del rx.partial[env.seq]
             rx.advance(env.seq)
+            if ordered:
+                rx.held[env.seq] = part.frags
+                self._flush_ordered(peer, env.flow, rx)
+            else:
+                self._note_dispatched(peer, env.flow, env.seq)
             self._stat("rel_delivered")
             self._send_ack(peer, env.flow, rx)
+
+    def _flush_ordered(self, peer: int, flow: int, rx: _RxFlow) -> None:
+        """Dispatch held messages of an ordered flow, strictly in
+        sequence order (and each message's fragments in offset order)."""
+        room = self.nic.flow_room(flow)
+        while rx.next_dispatch in rx.held:
+            seq = rx.next_dispatch
+            frags = rx.held[seq]
+            if room is not None and frags:
+                msg = frags[0][1].message
+                need = getattr(msg.header, "total_size", msg.size)
+                if need > room:
+                    # Receiver pacing: the MANAGED bucket cannot absorb
+                    # the whole message, and a partial append followed
+                    # by a NACKed retry would duplicate the placed
+                    # prefix mid-stream.  Keep it held — the NIC pokes
+                    # us again when the application posts a buffer.
+                    self._stat("rel_rx_paced")
+                    break
+                room -= need
+            for _off, item in sorted(rx.held.pop(seq), key=lambda p: p[0]):
+                self.nic.dispatch_inner(item)
+            self._note_dispatched(peer, flow, seq)
+            rx.next_dispatch += 1
+
+    def on_buffer_posted(self, flow: int) -> None:
+        """NIC hook: a buffer landed in *flow*'s bucket — ordered
+        messages held back by receiver pacing may now fit."""
+        for (peer, f), rx in list(self._rx.items()):
+            if f == flow and rx.held:
+                self._flush_ordered(peer, f, rx)
+
+    def _note_dispatched(self, peer: int, flow: int, seq: int) -> None:
+        aud = self.nic.auditor
+        if aud is not None:
+            aud.on_transport_dispatch(self.nic.node_id, peer, flow, seq)
 
     def _send_ack(self, peer: int, flow: int, rx: _RxFlow) -> None:
         if self.nic.failed:
@@ -336,6 +396,104 @@ class ReliableTransport:
     def _heard(self, peer: int) -> None:
         if self.on_heard_from is not None:
             self.on_heard_from(peer)
+
+    # ------------------------------------------------------------------ crash-restart recovery
+
+    def shutdown(self) -> None:
+        """Silence this transport forever (its NIC crashed).
+
+        Cancels every retransmission timer and clears flow state so the
+        zombie instance can neither resend with stale sequence numbers
+        nor fire give-up suspicion after the node's next incarnation
+        takes over.
+        """
+        self._shutdown = True
+        for fl in self._tx.values():
+            for rec in fl.pending.values():
+                if rec.timer is not None:
+                    rec.timer.cancel()
+        self._tx.clear()
+        self._rx.clear()
+        self.on_give_up = None
+        self.on_heard_from = None
+        self.journal = None
+
+    def quiescent_rx(self) -> bool:
+        """Whether no receive flow has partially arrived or withheld
+        messages.  Checkpoints require this: a cumulative edge advanced
+        past data the NIC has not fully placed would, after restore,
+        count bytes the LUT never saw."""
+        return not any(fl.partial or fl.held for fl in self._rx.values())
+
+    def rx_cums(self, peer: Optional[int] = None) -> dict[tuple[int, int], int]:
+        """Receive-side cumulative edges per (peer, flow) — the state a
+        checkpoint persists and a rejoin negotiates from."""
+        return {
+            (p, flow): fl.cum
+            for (p, flow), fl in self._rx.items()
+            if peer is None or p == peer
+        }
+
+    def tx_next_seqs(self) -> dict[tuple[int, int], int]:
+        """Send-side next sequence number per (dst, flow)."""
+        return {key: fl.next_seq for key, fl in self._tx.items()}
+
+    def restore_rx_flow(self, peer: int, flow: int, cum: int) -> None:
+        """Reinstate a receive flow at a checkpointed cumulative edge.
+
+        Anything beyond ``cum`` was lost with the NIC: the peer will
+        replay it, and the replay is accepted as new (out-of-order
+        completions and held messages are deliberately *not* restored —
+        re-dispatch of a replayed message is idempotent for steered
+        windows and required for ordered ones that never dispatched)."""
+        self._rx[(peer, flow)] = _RxFlow(cum=cum, next_dispatch=cum + 1)
+
+    def seed_tx_flow(self, dst: int, flow: int, next_seq: int) -> None:
+        """Continue a flow's sequence space across a crash (never rewind:
+        receivers dedup by seq, so reuse would silently drop sends)."""
+        fl = self._tx.setdefault((dst, flow), _TxFlow())
+        fl.next_seq = max(fl.next_seq, next_seq)
+
+    def replay_flows(self, dst: int, cums: dict, journal) -> list[str]:
+        """Resend journaled messages the peer proved it never received.
+
+        ``cums`` maps flow -> the peer's cumulative sequence edge for
+        traffic from this node; every journaled send beyond it is
+        retransmitted with its *original* sequence number (the peer's
+        dedup state stays valid).  Returns a list of coverage holes —
+        flows whose journal no longer retains a needed entry — for the
+        recovery report; an empty list means full replay coverage.
+        """
+        holes: list[str] = []
+        flows = set(cums) | set(journal.flows_for(dst))
+        for flow in sorted(flows):
+            cum = cums.get(flow, 0)
+            fl = self._tx.setdefault((dst, flow), _TxFlow())
+            for seq in [s for s in fl.pending if s <= cum]:
+                rec = fl.pending.pop(seq)
+                if rec.timer is not None:
+                    rec.timer.cancel()
+            entries, hole = journal.entries_after(dst, flow, cum)
+            if hole:
+                holes.append(
+                    f"node{self.nic.node_id}->node{dst} flow {flow:#x}: "
+                    f"journal retains from seq {hole}, peer needs {cum + 1}"
+                )
+            for e in entries:
+                rec = fl.pending.get(e.seq)
+                if rec is None:
+                    env = SeqHeader(flow=flow, seq=e.seq, inner=e.header)
+                    rec = _TxRecord(
+                        seq=e.seq, dst=dst, flow=flow, size=e.size, env=env,
+                        data=e.data, mode=e.mode, timeout=self.cfg.retransmit_timeout,
+                    )
+                    fl.pending[e.seq] = rec
+                elif rec.timer is not None:
+                    rec.timer.cancel()
+                self._stat("rel_replays")
+                self._transmit(rec)
+            fl.next_seq = max(fl.next_seq, journal.next_seq_hint(dst, flow))
+        return holes
 
     # ------------------------------------------------------------------ diagnostics
 

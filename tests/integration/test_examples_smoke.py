@@ -35,6 +35,12 @@ def test_fault_tolerant_rewind_example():
     assert "MPIX_Rewind" in out
     assert "data intact=True" in out
     assert "node 0 dead=True" in out
+    # Act 1: every timestep byte-identical across the crash-restart.
+    assert out.count("intact=True") >= 6
+    assert "incarnation 1" in out and "replay holes: 0" in out
+    # Act 2: the cluster-wide recovery line converged.
+    assert "coordinated rewind" in out and "converged=True" in out
+    assert "clean=True" in out
 
 
 def test_sockets_streaming_example():
