@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench figures docs examples validate clean
+.PHONY: install test bench figures docs docs-check examples validate clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -22,6 +22,9 @@ paper-scale:
 
 docs:
 	$(PYTHON) tools/gen_api_docs.py
+
+docs-check:
+	$(PYTHON) tools/docs_check.py
 
 figures-svg:
 	$(PYTHON) tools/render_figures.py

@@ -37,6 +37,7 @@ from .core import (
 )
 from .faults import ChaosSchedule, FaultInjector
 from .motifs import AllreduceMotif, Halo3D, Incast, RdmaProtocol, RvmaProtocol, Sweep3D
+from .observability import MetricsRegistry, RunReport, SpanTracer
 from .recovery import InvariantAuditor, RecoveryConfig, RecoveryManager
 from .reliability import FailureDetector, PeerFailed, ReliabilityConfig
 from .mpi import MpiRma, RankWindow, RewindUnsupportedError
@@ -58,6 +59,7 @@ __all__ = [
     "Halo3D",
     "Incast",
     "InvariantAuditor",
+    "MetricsRegistry",
     "MpiRma",
     "NetworkConfig",
     "Node",
@@ -69,12 +71,14 @@ __all__ = [
     "ReliabilityConfig",
     "RewindUnsupportedError",
     "RoutingMode",
+    "RunReport",
     "RvmaApi",
     "RvmaListener",
     "RvmaApiError",
     "RvmaProtocol",
     "RvmaStatus",
     "Simulator",
+    "SpanTracer",
     "StreamClient",
     "StreamServer",
     "Sweep3D",

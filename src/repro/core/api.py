@@ -197,9 +197,18 @@ class RvmaApi:
         nbytes = size if size is not None else len(data)
         if nbytes < 0 or offset < 0:
             raise RvmaApiError(RvmaStatus.ERR_INVALID, "negative size/offset")
+        spans = self.nic.sim.spans
+        sp = None
+        if spans.active and spans.wants("api"):
+            sp = spans.begin(
+                "api", "put", node=self.node.node_id, dst=dst, size=nbytes
+            )
         yield from self._overhead()
         dst_node, mailbox = resolve_destination(dst, virtual_addr)
-        return self.nic.hw_put(dst_node, mailbox, nbytes, data, offset, mode)
+        op = self.nic.hw_put(dst_node, mailbox, nbytes, data, offset, mode)
+        if sp is not None:
+            op.local_done.add_callback(lambda _op: spans.end(sp))
+        return op
 
     def get(
         self,
@@ -226,10 +235,21 @@ class RvmaApi:
         default), then reads the (head, length) pair the NIC stored.
         """
         record = win.next_unconsumed()
+        spans = self.nic.sim.spans
+        sp = None
+        if spans.active and spans.wants("api"):
+            sp = spans.begin(
+                "api",
+                "wait_completion",
+                node=self.node.node_id,
+                mailbox=win.virtual_addr,
+            )
         head = yield self.node.waiter.wait_for_nonzero_u64(record.notification_addr, wakeup)
         yield from self._overhead()  # library wrapper around the check
         length = self.node.memory.read_u64(record.length_addr)
         win.consumed += 1
+        if sp is not None:
+            spans.end(sp, length=int(length))
         return CompletionInfo(head_addr=int(head), length=int(length), record=record)
 
     # ------------------------------------------------------------------ failures
@@ -284,6 +304,34 @@ class RvmaApi:
         detector = self.nic.detector
         if detector is not None:
             detector.reinstate(peer)
+
+    # ------------------------------------------------------------------ observability
+
+    def metrics(self, prefix: str = ""):
+        """Federated hierarchical metrics for this node's simulation.
+
+        Returns a :class:`repro.observability.MetricsRegistry` snapshot
+        aggregating every component's flat counters/summaries/histograms
+        under canonical names (``nic.rvma.bytes_placed``,
+        ``transport.retransmits``, …).  Filter with *prefix*
+        (e.g. ``api.metrics("transport").flat()``) — the registry itself
+        always holds everything; *prefix* applies to :meth:`flat`-style
+        reads, so it is accepted here for convenience and forwarded.
+        """
+        from repro.observability import MetricsRegistry
+
+        registry = MetricsRegistry.collect(self.nic.sim)
+        if prefix:
+            return registry.flat(prefix)
+        return registry
+
+    def trace_spans(self, category: str = ""):
+        """Recorded observability spans (optionally one *category*).
+
+        Spans are collected only after ``sim.spans.enable(...)``; see
+        ``docs/OBSERVABILITY.md`` for the category catalog.
+        """
+        return self.nic.sim.spans.spans(category)
 
     # ------------------------------------------------------------------ extensions
 

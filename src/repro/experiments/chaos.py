@@ -42,6 +42,7 @@ from ..motifs.halo3d import Halo3D
 from ..motifs.incast import Incast
 from ..motifs.transfer import RvmaProtocol
 from ..nic.rvma import RvmaNicConfig
+from ..observability import RunReport
 from ..recovery.auditor import InvariantAuditor
 from ..recovery.rejoin import RecoveryConfig, RecoveryManager
 from ..reliability.transport import ReliabilityConfig, hottest_retransmit_flows
@@ -159,6 +160,9 @@ class ChaosOutcome:
     #: paths that used to vanish into ``puts_lost``).
     put_window_evictions: int = 0
     put_giveups: int = 0
+    #: observability snapshot (:class:`repro.observability.RunReport`),
+    #: present when the run was invoked with ``observe=True``.
+    run_report: Optional[object] = None
 
     @property
     def invariants_ok(self) -> bool:
@@ -191,6 +195,8 @@ def run_motif_under_chaos(
     audit: Optional[bool] = None,
     recovery: bool = True,
     recovery_config: Optional[RecoveryConfig] = None,
+    observe: bool = False,
+    trace: bool = False,
 ) -> ChaosOutcome:
     """Run one motif under a generated chaos schedule and audit it.
 
@@ -207,6 +213,11 @@ def run_motif_under_chaos(
     counters, since sanctioned replay legally re-places bytes.
     ``recovery=False`` crashes without the recovery stack — the
     regression guard that an amnesiac restart alone is *not* enough.
+
+    ``observe=True`` attaches the observability layer and returns a
+    :class:`repro.observability.RunReport` in ``ChaosOutcome.run_report``;
+    ``trace=True`` additionally enables span recording in every category
+    (the report then carries per-category rollups and hottest spans).
     """
     nic_config = RvmaNicConfig(
         reliability=(reliability_config or CHAOS_RELIABILITY) if reliability else None
@@ -234,13 +245,17 @@ def run_motif_under_chaos(
     if configure is not None:
         configure(injector)
     motif = _build_motif(motif_name, cluster)
+    if observe and trace:
+        cluster.sim.spans.enable()
 
     error: Optional[str] = None
     result: Optional[MotifResult] = None
+    run_span = cluster.sim.spans.begin("run", motif_name, seed=seed)
     try:
         result = motif.run()
     except RuntimeError as exc:  # deadlocked ranks or data-loss indicators
         error = str(exc)
+    cluster.sim.spans.end(run_span, completed=error is None)
 
     counters = cluster.sim.stats.counters()
     fingerprint = _state_fingerprint if n_crashes > 0 else _fingerprint
@@ -277,6 +292,22 @@ def run_motif_under_chaos(
         audit_report=auditor.report() if auditor is not None else None,
         put_window_evictions=_counter_total(cluster, ".put_window_evictions"),
         put_giveups=_counter_total(cluster, ".put_giveups"),
+        run_report=(
+            RunReport.collect(
+                cluster,
+                meta={
+                    "harness": "chaos",
+                    "motif": motif_name,
+                    "seed": seed,
+                    "n_nodes": n_nodes,
+                    "n_crashes": n_crashes,
+                    "drop_prob": drop_prob,
+                    "completed": error is None,
+                },
+            )
+            if observe
+            else None
+        ),
     )
 
 
@@ -290,11 +321,14 @@ def run_chaos(
     rows = []
     all_ok = True
     total_retx = 0
+    reports = []
     for motif in motifs:
         for seed in seeds:
             out = run_motif_under_chaos(motif, seed=seed, n_nodes=n_nodes, **kw)
             all_ok = all_ok and out.invariants_ok
             total_retx += out.retransmits
+            if out.run_report is not None:
+                reports.append(out.run_report)
             rows.append([
                 motif,
                 seed,
@@ -318,6 +352,11 @@ def run_chaos(
             "observation": "reliability owned in the transport lets RVMA traffic "
             "survive lossy fabrics end-to-end (RAMC-style layering; extends §IV-F)"
         },
+        run_report=(
+            RunReport.merge(reports, meta={"harness": "chaos", "seeds": list(seeds)})
+            if reports
+            else None
+        ),
     )
 
 
@@ -341,6 +380,7 @@ def run_crash_restart(
     rows = []
     all_ok = True
     total_violations = 0
+    reports = []
     for motif in motifs:
         for seed in seeds:
             out = run_motif_under_chaos(
@@ -349,6 +389,8 @@ def run_crash_restart(
             )
             all_ok = all_ok and out.invariants_ok
             total_violations += out.audit_violations or 0
+            if out.run_report is not None:
+                reports.append(out.run_report)
             rows.append([
                 motif,
                 seed,
@@ -382,4 +424,11 @@ def run_crash_restart(
             "§IV-F rewind a full crash-restart story: a node can lose its NIC "
             "state mid-run and the cluster converges to the fault-free result"
         },
+        run_report=(
+            RunReport.merge(
+                reports, meta={"harness": "chaos-crash", "seeds": list(seeds)}
+            )
+            if reports
+            else None
+        ),
     )

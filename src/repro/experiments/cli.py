@@ -49,12 +49,29 @@ def _seeds_of(args) -> tuple:
     return (args.seed,) if args.seed is not None else (1, 2, 3)
 
 
+def _motifs_of(args) -> tuple:
+    """Motif subset from ``--motifs``, or the full default set."""
+    if args.motifs:
+        return tuple(m.strip() for m in args.motifs.split(",") if m.strip())
+    return ("allreduce", "incast", "halo3d")
+
+
 def _chaos_runner(args) -> ExperimentResult:
-    return run_chaos(seeds=_seeds_of(args))
+    return run_chaos(
+        seeds=_seeds_of(args),
+        motifs=_motifs_of(args),
+        observe=bool(args.metrics_out),
+        trace=args.trace,
+    )
 
 
 def _chaos_crash_runner(args) -> ExperimentResult:
-    return run_crash_restart(seeds=_seeds_of(args))
+    return run_crash_restart(
+        seeds=_seeds_of(args),
+        motifs=_motifs_of(args),
+        observe=bool(args.metrics_out),
+        trace=args.trace,
+    )
 
 
 RUNNERS: dict[str, Callable] = {
@@ -104,6 +121,21 @@ def main(argv: list[str] | None = None) -> int:
         "(default: the fixed 3-seed matrix); lets CI shard seeds "
         "and failures replay exactly",
     )
+    parser.add_argument(
+        "--motifs", type=str, default="",
+        help="comma-separated motif subset for the chaos sweeps "
+        "(default: allreduce,incast,halo3d)",
+    )
+    parser.add_argument(
+        "--metrics-out", type=str, default="",
+        help="write the observability RunReport (JSON) to this path; a "
+        "markdown rendering goes to <path>.md (chaos/chaos-crash only)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable span tracing during the run (adds span categories, "
+        "hottest-span profiles to the --metrics-out report)",
+    )
     args = parser.parse_args(argv)
     if args.paper_scale:
         args.nodes = PAPER_NODES
@@ -127,6 +159,25 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  paper {key}: {claim}")
         print(f"  [{name} regenerated in {elapsed:.1f}s]\n")
         results.append(result)
+
+    if args.metrics_out:
+        reports = [r.run_report for r in results if r.run_report is not None]
+        if not reports:
+            print(
+                "--metrics-out: no observability report produced "
+                "(only chaos/chaos-crash runs collect one)",
+                file=sys.stderr,
+            )
+        else:
+            from repro.observability import RunReport
+
+            merged = reports[0] if len(reports) == 1 else RunReport.merge(reports)
+            merged.save(args.metrics_out)
+            md_path = args.metrics_out + ".md"
+            with open(md_path, "w", encoding="utf-8") as fh:
+                fh.write(merged.to_markdown())
+                fh.write("\n")
+            print(f"observability report: {args.metrics_out} (markdown: {md_path})")
 
     if args.out:
         with open(args.out, "a", encoding="utf-8") as fh:

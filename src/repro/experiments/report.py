@@ -18,6 +18,10 @@ class ExperimentResult:
     summary: dict = field(default_factory=dict)
     #: the paper's reported values for EXPERIMENTS.md comparison
     paper_claims: dict = field(default_factory=dict)
+    #: merged observability snapshot across the sweep's runs
+    #: (:class:`repro.observability.RunReport`); None unless the sweep
+    #: was invoked with ``observe=True``.
+    run_report: Any = None
 
     def to_text(self) -> str:
         """Fixed-width terminal rendering of the table."""

@@ -64,6 +64,16 @@ class BaseFabric(Component):
         #: reaches the destination handler; returning True drops it.
         self.fault_filter = None
         self.deliveries_dropped = 0
+        #: canonical latency summary, shared across fabrics in one sim.
+        self._lat_summary = sim.stats.summary("fabric.msg_latency_ns")
+
+    def observable_metrics(self) -> dict[str, int]:
+        """Attribute counters exposed to the observability collector."""
+        return {
+            "fabric.messages_sent": self.messages_sent,
+            "fabric.bytes_sent": self.bytes_sent,
+            "fabric.deliveries_dropped": self.deliveries_dropped,
+        }
 
     # --- endpoints ---------------------------------------------------------------
 
@@ -78,6 +88,8 @@ class BaseFabric(Component):
         if self.fault_filter is not None and self.fault_filter(delivery):
             self.deliveries_dropped += 1
             return
+        info = delivery.info
+        self._lat_summary.add(info.arrival_time - info.send_time)
         handler = self._handlers.get(node_id)
         if handler is None:
             raise RuntimeError(f"no handler attached for node {node_id}")
@@ -280,4 +292,9 @@ class FlowFabric(BaseFabric):
             path_index=idx,
         )
         self.sim.schedule_at(t_deliver, self._deliver, dst, Delivery(msg, info))
+        spans = self.sim.spans
+        if spans.active and spans.wants("fabric"):
+            sp = spans.begin("fabric", "msg_flight", src=src, dst=dst, size=size, hops=hops)
+            if sp is not None:
+                self.sim.schedule_at(t_deliver, spans.end, sp)
         return msg

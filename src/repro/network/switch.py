@@ -53,6 +53,10 @@ class Switch(Component):
         self.to_node: dict[int, Any] = {}  # node id -> Port
         self.packets_forwarded = 0
 
+    def observable_metrics(self) -> dict[str, int]:
+        """Attribute counters exposed to the observability collector."""
+        return {"fabric.packets_forwarded": self.packets_forwarded}
+
     def make_switch_port(self, neighbor: int):
         """Create the output port cabled towards *neighbor* switch."""
         port = self.add_port(f"sw{neighbor}", self.on_packet)
@@ -127,6 +131,13 @@ class PacketFabric(BaseFabric):
             SerializingLink(sim, ep.inj_port, sp, cfg.injection_latency, cfg.link_bw)
             self.endpoints.append(ep)
         self.packets_delivered = 0
+        #: open per-message flight spans: id(msg) -> [span, packets_left]
+        self._msg_spans: dict[int, list] = {}
+
+    def observable_metrics(self) -> dict[str, int]:
+        metrics = super().observable_metrics()
+        metrics["fabric.packets_delivered"] = self.packets_delivered
+        return metrics
 
     def send(
         self,
@@ -140,6 +151,7 @@ class PacketFabric(BaseFabric):
         """Fragment into MTU packets, source-routing each independently."""
         mode = mode or self.config.routing
         msg = self._mk_message(src, dst, size, header, data)
+        n_pkts = 0
         for pkt in msg.fragment():
             choice = self.select_path(src, dst, mode)
             env = RoutedPacket(packet=pkt, route=choice.path, hop=0, path_index=choice.index)
@@ -147,6 +159,12 @@ class PacketFabric(BaseFabric):
                 # src and dst share a switch: still one switch traversal.
                 pass
             self.endpoints[src].inj_port.send(env, pkt.wire_size)
+            n_pkts += 1
+        spans = self.sim.spans
+        if spans.active and spans.wants("fabric"):
+            sp = spans.begin("fabric", "msg_flight", src=src, dst=dst, size=size, packets=n_pkts)
+            if sp is not None:
+                self._msg_spans[id(msg)] = [sp, n_pkts]
         return msg
 
     def injection_busy_until(self, node: int) -> float:
@@ -169,6 +187,12 @@ class PacketFabric(BaseFabric):
     def _on_packet_arrival(self, node_id: int, env: RoutedPacket) -> None:
         self.packets_delivered += 1
         msg = env.packet.message
+        entry = self._msg_spans.get(id(msg))
+        if entry is not None:
+            entry[1] -= 1
+            if entry[1] <= 0:
+                self.sim.spans.end(entry[0])
+                del self._msg_spans[id(msg)]
         info = DeliveryInfo(
             send_time=msg.send_time,
             arrival_time=self.sim.now,

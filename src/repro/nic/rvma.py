@@ -126,6 +126,10 @@ class RvmaNic(BaseNic):
         #: :meth:`flow_room` does not double-count room the pipeline
         #: has already promised to in-flight appends.
         self._inflight_flow_bytes: dict[int, int] = {}
+        #: canonical distribution: bytes accumulated per retired epoch.
+        self._epoch_hist = sim.stats.histogram(
+            "nic.rvma.epoch_bytes", 0.0, float(1 << 20), 64
+        )
         self.register_handler(RvmaPutHeader, self._on_put)
         self.register_handler(RvmaGetHeader, self._on_get)
         self.register_handler(RvmaGetReply, self._on_get_reply)
@@ -530,6 +534,11 @@ class RvmaNic(BaseNic):
             buf.buffer.write(place_off, data)
         buf.bytes_received = max(buf.bytes_received, place_off + nbytes)
         self.stat("bytes_placed").add(nbytes)
+        spans = self.sim.spans
+        if spans.active and getattr(buf, "_obs_span", None) is None and spans.wants("nic"):
+            buf._obs_span = spans.begin(
+                "nic", "epoch_fill", nic=self.name, mailbox=entry.mailbox
+            )
         self.trace("put_placed", mailbox=entry.mailbox, off=place_off, n=nbytes)
 
         if entry.threshold_type is EpochType.EPOCH_BYTES:
@@ -592,6 +601,15 @@ class RvmaNic(BaseNic):
                     buf.buffer.write(append_at, data[consumed : consumed + take])
                 buf.bytes_received += take
                 self.stat("bytes_placed").add(take)
+                spans = self.sim.spans
+                if (
+                    spans.active
+                    and getattr(buf, "_obs_span", None) is None
+                    and spans.wants("nic")
+                ):
+                    buf._obs_span = spans.begin(
+                        "nic", "epoch_fill", nic=self.name, mailbox=entry.mailbox
+                    )
                 if entry.threshold_type is EpochType.EPOCH_BYTES:
                     buf.counter += take
                 aud = self.auditor
@@ -634,6 +652,11 @@ class RvmaNic(BaseNic):
         if entry.counter_spilled:
             self.stat("spilled_completions").add()
         pb = record.buffer
+        self._epoch_hist.add(record.length)
+        sp = getattr(pb, "_obs_span", None)
+        if sp is not None:
+            self.sim.spans.end(sp, bytes=record.length, epoch=record.epoch)
+            pb._obs_span = None
         # One cache-line store carries both the head pointer and length;
         # it pipelines behind the data DMA (posted writes), so it costs
         # only the pipeline gap — plus a full host round trip when the

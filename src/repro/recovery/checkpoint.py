@@ -257,4 +257,5 @@ class CheckpointDaemon:
         self.latest = ckpt
         self.taken += 1
         nic.stat("checkpoints_taken").add()
+        self.sim.stats.summary("recovery.checkpoint_mailboxes").add(len(ckpt.mailboxes))
         return ckpt

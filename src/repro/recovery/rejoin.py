@@ -117,6 +117,8 @@ class RecoveryAgent:
         self.daemon = CheckpointDaemon(
             node, cfg.checkpoint_interval_ns, cfg.horizon_ns
         )
+        #: open observability span covering crash -> rejoin, if tracing.
+        self._crash_span = None
 
     # ------------------------------------------------------------------ arming
 
@@ -140,6 +142,14 @@ class RecoveryAgent:
         swallow them.
         """
         nic = self.node.nic
+        spans = self.node.sim.spans
+        if spans.active and spans.wants("recovery"):
+            self._crash_span = spans.begin(
+                "recovery",
+                "crash_restart",
+                node=self.node.node_id,
+                incarnation=nic.incarnation,
+            )
         if nic.transport is None:
             return
         nic.transport.journal = self.send_journal
@@ -181,6 +191,17 @@ class RecoveryAgent:
                 ),
             )
         nic.stat("rejoins_initiated").add()
+        if ckpt is not None:
+            self.node.sim.stats.summary("recovery.checkpoint_age_ns").add(
+                self.node.sim.now - ckpt.time
+            )
+        sim = self.node.sim
+        sim.spans.end(
+            self._crash_span,
+            peers_greeted=len(peers),
+            mailboxes_restored=len(restored),
+        )
+        self._crash_span = None
         self.report.rejoins.append(
             RejoinRecord(
                 node=self.node.node_id,

@@ -63,6 +63,8 @@ class FailureDetector:
         self._smoothed: dict[int, float] = {}
         self.suspected: dict[int, PeerFailed] = {}
         self._callbacks: list[Callable[[PeerFailed], None]] = []
+        #: open suspicion spans, peer -> Span (suspect -> reinstate).
+        self._susp_spans: dict[int, object] = {}
         transport.on_heard_from = self.heard_from
         transport.on_give_up = self.force_suspect
 
@@ -144,6 +146,7 @@ class FailureDetector:
         self._last_heard[peer] = self.sim.now
         self.nic.stat("peers_reinstated").add()
         self.sim.stats.counter("reliability.peers_reinstated").add()
+        self.sim.spans.end(self._susp_spans.pop(peer, None), outcome="reinstated")
         self.nic.trace("peer_reinstated", peer=peer)
 
     def shutdown(self) -> None:
@@ -173,6 +176,11 @@ class FailureDetector:
         self.suspected[peer] = record
         self.nic.stat("peers_suspected").add()
         self.sim.stats.counter("reliability.peers_suspected").add()
+        spans = self.sim.spans
+        if spans.active and spans.wants("detector"):
+            self._susp_spans[peer] = spans.begin(
+                "detector", "suspicion", observer=self.nic.name, peer=peer, reason=reason
+            )
         self.nic.trace("peer_suspected", peer=peer, reason=reason)
         w = self._watches.get(peer)
         if w is not None:

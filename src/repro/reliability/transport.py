@@ -80,6 +80,7 @@ class _TxRecord:
     timeout: float
     attempts: int = 0
     timer: object = None  # scheduled Event for the pending timeout
+    span: object = None  # open observability span (send -> ack), if tracing
 
 
 @dataclass
@@ -147,6 +148,8 @@ class ReliableTransport:
         self.journal = None
         self._shutdown = False
         self._hb_seq = 0
+        #: canonical distribution: attempts needed per acked message.
+        self._attempts_summary = self.sim.stats.summary("transport.tx_attempts")
         nic.register_handler(SeqHeader, self._on_seq)
         nic.register_handler(ReliAckHeader, self._on_ack)
         nic.register_handler(HeartbeatHeader, self._on_heartbeat)
@@ -194,6 +197,11 @@ class ReliableTransport:
         if self.journal is not None:
             self.journal.note_send(dst, flow, seq, size, header, data, mode)
         self._stat("rel_tx")
+        spans = self.sim.spans
+        if spans.active and spans.wants("transport"):
+            rec.span = spans.begin(
+                "transport", "send_to_ack", dst=dst, flow=flow, seq=seq, size=size
+            )
         return self._transmit(rec)
 
     def _transmit(self, rec: _TxRecord) -> Message:
@@ -217,11 +225,13 @@ class ReliableTransport:
             # A dead node retransmits nothing; drop the pending state so
             # the event heap drains and the simulation terminates.
             fl.pending.pop(seq, None)
+            self.sim.spans.end(rec.span, outcome="sender_failed")
             return
         rec.attempts += 1
         if rec.attempts > self.cfg.max_retries:
             fl.pending.pop(seq, None)
             self._stat("rel_gave_up")
+            self.sim.spans.end(rec.span, outcome="gave_up", attempts=rec.attempts)
             self.nic.trace("rel_give_up", dst=dst, flow=flow, seq=seq)
             if self.on_give_up is not None:
                 self.on_give_up(dst, f"retry budget exhausted (flow {flow:#x} seq {seq})")
@@ -242,10 +252,15 @@ class ReliableTransport:
         if fl is None:
             return
         sacks = set(hdr.sacks)
+        spans = self.sim.spans
+        attempts = self._attempts_summary
         for seq in [s for s in fl.pending if s <= hdr.cum or s in sacks]:
             rec = fl.pending.pop(seq)
             if rec.timer is not None:
                 rec.timer.cancel()
+            attempts.add(rec.attempts + 1)
+            if rec.span is not None:
+                spans.end(rec.span, outcome="acked", attempts=rec.attempts + 1)
 
     def unacked(self, dst: Optional[int] = None) -> int:
         """Outstanding unacknowledged messages (optionally to one peer)."""

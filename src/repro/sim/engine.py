@@ -15,6 +15,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.observability.spans import SpanTracer
+
 from .event import Event, PRIORITY_NORMAL
 from .rng import RngRegistry
 from .stats import StatsRegistry
@@ -56,6 +58,7 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.stats = StatsRegistry()
         self.tracer = Tracer(enabled=trace, clock=lambda: self.now)
+        self.spans = SpanTracer(clock=lambda: self.now, tracer=self.tracer)
         self._components: list[Any] = []
 
     # --- scheduling ----------------------------------------------------------
@@ -100,6 +103,9 @@ class Simulator:
     def register_component(self, comp: Any) -> None:
         """Track a component for introspection/finalization."""
         self._components.append(comp)
+        # A tracer swapped in standalone (its default clock stamps 0.0)
+        # picks up simulated time the moment real components attach.
+        self.tracer.bind_clock(lambda: self.now)
 
     @property
     def components(self) -> tuple:

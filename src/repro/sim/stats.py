@@ -63,6 +63,32 @@ class Summary:
     def stddev(self) -> float:
         return math.sqrt(self.variance)
 
+    def merge(self, other: "Summary") -> "Summary":
+        """Fold *other*'s samples into this summary (Chan's parallel
+        variance combine); the observability layer uses this to federate
+        per-component summaries into one cluster-wide metric."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return self
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / n
+        self._mean = (self._mean * self.n + other._mean * other.n) / n
+        self.n = n
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"Summary({self.name} n={self.n} mean={self.mean:.2f} "
@@ -98,6 +124,23 @@ class Histogram:
     def bin_edges(self) -> list[float]:
         return [self.lo + i * self.width for i in range(self.nbins + 1)]
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other* into this histogram.  Both must share the exact
+        same binning — histograms with different shapes measure
+        different things and summing their bins would be meaningless."""
+        if (other.lo, other.hi, other.nbins) != (self.lo, self.hi, self.nbins):
+            raise ValueError(
+                f"cannot merge histogram {other.name} "
+                f"[{other.lo}, {other.hi})x{other.nbins} into {self.name} "
+                f"[{self.lo}, {self.hi})x{self.nbins}"
+            )
+        for i, n in enumerate(other.bins):
+            self.bins[i] += n
+        self.underflow += other.underflow
+        self.overflow += other.overflow
+        self.count += other.count
+        return self
+
 
 class StatsRegistry:
     """Flat namespace of statistics owned by a simulator instance."""
@@ -127,6 +170,15 @@ class StatsRegistry:
 
     def counters(self, prefix: str = "") -> dict[str, int]:
         return {k: c.value for k, c in self._counters.items() if k.startswith(prefix)}
+
+    def counter_items(self) -> list[tuple[str, Counter]]:
+        return list(self._counters.items())
+
+    def summary_items(self) -> list[tuple[str, Summary]]:
+        return list(self._summaries.items())
+
+    def histogram_items(self) -> list[tuple[str, Histogram]]:
+        return list(self._histograms.items())
 
     def report(self, prefix: str = "") -> str:
         """Plain-text dump of all stats under *prefix* (for experiment logs)."""

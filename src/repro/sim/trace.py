@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Optional
 
 
 @dataclass(frozen=True)
@@ -22,6 +22,17 @@ class TraceEntry:
     fields: dict = field(default_factory=dict)
 
 
+def _unbound_clock() -> float:
+    """Placeholder clock for tracers built before an engine exists.
+
+    Entries recorded through it carry time 0.0; the engine replaces it
+    via :meth:`Tracer.bind_clock` the first time a component registers,
+    so standalone tracers pick up real simulated time as soon as they
+    are attached to a run.
+    """
+    return 0.0
+
+
 class Tracer:
     """Collects :class:`TraceEntry` records when enabled.
 
@@ -29,10 +40,25 @@ class Tracer:
     (benchmark) runs are unaffected.
     """
 
-    def __init__(self, enabled: bool = False, clock: Callable[[], float] = lambda: 0.0) -> None:
+    def __init__(self, enabled: bool = False, clock: Optional[Callable[[], float]] = None) -> None:
         self.enabled = enabled
-        self._clock = clock
+        self._clock = clock if clock is not None else _unbound_clock
         self.entries: list[TraceEntry] = []
+
+    @property
+    def clock_bound(self) -> bool:
+        """Whether a real time source has been installed."""
+        return self._clock is not _unbound_clock
+
+    def bind_clock(self, clock: Callable[[], float], force: bool = False) -> None:
+        """Install *clock* as the time source (no-op when already bound).
+
+        The engine calls this at component registration so a tracer
+        constructed standalone (default clock) starts stamping entries
+        with simulated time instead of a constant 0.0.
+        """
+        if force or not self.clock_bound:
+            self._clock = clock
 
     def record(self, category: str, message: str, **fields: Any) -> None:
         if not self.enabled:

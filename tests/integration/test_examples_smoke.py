@@ -79,3 +79,33 @@ def test_socket_echo_server_example():
     assert out.count("accepted node") == 3
     assert "HELLO FROM NODE 2" in out
     assert "no per-client" in out
+
+
+def test_cli_chaos_metrics_out_and_trace(tmp_path):
+    """`--metrics-out` must write a valid JSON report plus a rendered
+    markdown next to it, for one motif under chaos with tracing on."""
+    report = tmp_path / "report.json"
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "chaos",
+            "--seed", "1", "--motifs", "allreduce",
+            "--metrics-out", str(report), "--trace",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES.parent,
+    )
+    assert result.returncode == 0, f"cli chaos failed:\n{result.stderr}"
+    assert "observability report" in result.stdout
+
+    import json
+
+    data = json.loads(report.read_text())
+    assert {"nic", "transport", "fabric"} <= set(data["metrics"])
+    assert data["metrics"]["nic"]["nic.rvma.bytes_placed"] > 0
+    assert len(data["spans"]["categories"]) >= 3
+    assert data["spans"]["hottest_by_sim_time"]
+
+    md = (tmp_path / "report.json.md").read_text()
+    assert md.startswith("#") and "transport" in md

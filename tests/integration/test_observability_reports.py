@@ -1,0 +1,76 @@
+"""Integration: observability reports out of the chaos harness and API.
+
+The acceptance bar for the observability layer: a chaos-crash run with
+``observe=True, trace=True`` must yield a RunReport carrying the
+nic/transport/recovery/fabric metric groups and at least three span
+categories, with every reported metric declared in the catalog.
+"""
+
+import json
+
+from repro.cluster import Cluster
+from repro.core import RvmaApi
+from repro.experiments.chaos import run_motif_under_chaos
+from repro.nic.rvma import RvmaNicConfig
+from repro.reliability import ReliabilityConfig
+
+from tests.helpers import run_gens
+
+
+def test_chaos_crash_report_covers_all_layers():
+    out = run_motif_under_chaos(
+        "allreduce", seed=1, n_crashes=1, observe=True, trace=True,
+        compare_clean=False,
+    )
+    rep = out.run_report
+    assert rep is not None
+    groups = set(rep.groups())
+    assert {"nic", "transport", "recovery", "fabric"} <= groups
+    assert len(rep.span_categories) >= 3
+    assert rep.undocumented() == []
+    # the crash actually shows up in the numbers
+    assert rep.metrics["faults"]["faults.crashes"] == 1
+    assert rep.metrics["recovery"]["recovery.restarts"] == 1
+    # spans carry sim-time: the whole-run span is the longest
+    assert rep.hottest_sim[0]["category"] == "run"
+    # JSON round-trips
+    assert json.loads(rep.to_json())["metrics"]["nic"]
+    md = rep.to_markdown()
+    assert "transport.retransmits" in md
+
+
+def test_chaos_without_observe_returns_no_report():
+    out = run_motif_under_chaos("allreduce", seed=1, compare_clean=False)
+    assert out.run_report is None
+
+
+def test_api_metrics_and_trace_spans():
+    cfg = RvmaNicConfig(reliability=ReliabilityConfig())
+    cluster = Cluster.build(
+        n_nodes=2, topology="star", nic_type="rvma", nic_config=cfg
+    )
+    cluster.sim.spans.enable("api", "fabric")
+    sender, receiver = RvmaApi(cluster.node(0)), RvmaApi(cluster.node(1))
+
+    def rx():
+        win = yield from receiver.init_window(0xC0DE, epoch_threshold=64)
+        yield from receiver.post_buffer(win, size=64)
+        yield from receiver.wait_completion(win)
+
+    def tx():
+        yield 100.0
+        op = yield from sender.put(1, 0xC0DE, data=b"x" * 64)
+        yield op.local_done
+
+    run_gens(cluster.sim, rx(), tx())
+
+    flat = sender.metrics("nic")
+    assert flat["nic.rvma.bytes_placed"] == 64
+    reg = sender.metrics()
+    assert "fabric" in reg.groups() and "nic" in reg.groups()
+
+    api_spans = sender.trace_spans("api")
+    assert {s.name for s in api_spans} == {"put", "wait_completion"}
+    assert all(not s.open for s in api_spans)
+    flights = sender.trace_spans("fabric")
+    assert flights and all(s.sim_time > 0 for s in flights)
