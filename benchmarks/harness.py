@@ -1,0 +1,67 @@
+"""Pytest-facing wrapper around the pinned benchmark suite.
+
+``repro.experiments.bench`` owns the suite definitions, the
+``BENCH_*.json`` artifact format and the baseline gate; this module
+exposes the smoke-scale suite to ``pytest benchmarks/`` so the standard
+CI test job exercises the harness end-to-end (runs every cell, writes
+the artifact, gates against ``benchmarks/baseline.json``).
+
+The gate here is deliberately forgiving (pytest hosts are noisy):
+regressions are normalised by the calibration loop and tolerance is
+inherited from the bench module's default (20%).  The dedicated
+``bench-smoke`` CI job runs the same suite via the CLI and uploads the
+JSON artifact.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/harness.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.bench import (
+    DEFAULT_BASELINE,
+    build_document,
+    calibrate,
+    compare,
+    run_suite,
+)
+
+
+def test_smoke_suite_runs_and_meets_baseline(tmp_path: Path) -> None:
+    """Every smoke cell runs, emits a well-formed artifact, and no cell
+    regresses >20% events/sec vs the committed baseline."""
+    records = run_suite("smoke")
+    assert [r.name for r in records] == [
+        "engine-churn",
+        "engine-cancel",
+        "incast",
+        "halo3d",
+        "allreduce",
+        "chaos-crash",
+    ]
+    calib = calibrate()
+    doc = build_document(records, "smoke", calib)
+    artifact = tmp_path / "BENCH_smoke.json"
+    artifact.write_text(json.dumps(doc, indent=2), encoding="utf-8")
+    loaded = json.loads(artifact.read_text(encoding="utf-8"))
+    assert loaded["meta"]["suite"] == "smoke"
+    assert all("wall_s" in r for r in loaded["results"])
+
+    # Functional sanity regardless of host speed.
+    by_name = {r.name: r for r in records}
+    assert by_name["engine-churn"].events == 30_000
+    assert by_name["chaos-crash"].extras["invariants_ok"]
+    assert by_name["incast"].extras["bytes_moved"] > 0
+
+    if os.environ.get("BENCH_SKIP_GATE"):
+        return
+    if not DEFAULT_BASELINE.exists():
+        return
+    baseline = json.loads(DEFAULT_BASELINE.read_text(encoding="utf-8"))
+    regressions, _notes = compare(records, baseline, calib=calib, suite="smoke")
+    assert not regressions, "\n".join(regressions)

@@ -92,6 +92,14 @@ RUNNERS: dict[str, Callable] = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "bench":
+        # Delegate to the benchmark harness, which owns its own flags
+        # (`rvma-experiments bench --suite smoke` == `python -m
+        # repro.experiments.bench --suite smoke`).
+        from .bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rvma-experiments",
         description="Regenerate the RVMA paper's tables and figures",

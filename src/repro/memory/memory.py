@@ -76,6 +76,10 @@ class NodeMemory:
         self._watchpoints: list[tuple[int, int, Callable[[int, bytes], None]]] = []
         self.bytes_written = 0
         self.bytes_read = 0
+        #: last allocation hit by find() — NIC placement streams revisit
+        #: the same buffer for thousands of consecutive accesses, so this
+        #: turns the bisect into a bounds check on the hot path.
+        self._last_hit: Allocation | None = None
 
     # --- allocation -----------------------------------------------------------
 
@@ -92,10 +96,14 @@ class NodeMemory:
 
     def find(self, addr: int, length: int = 1) -> Allocation:
         """Allocation containing [addr, addr+length), else MemoryFault."""
+        a = self._last_hit
+        if a is not None and a.base <= addr and addr + length <= a.base + a.size:
+            return a
         i = bisect.bisect_right(self._bases, addr) - 1
         if i >= 0:
             a = self._allocs[i]
             if a.contains(addr, length):
+                self._last_hit = a
                 return a
         raise MemoryFault(f"access [{addr:#x}, +{length}) hits no allocation")
 

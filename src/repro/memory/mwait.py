@@ -68,7 +68,7 @@ class MemoryWaiter:
 
         def on_write(w_addr: int, _data: bytes) -> None:
             self.memory.remove_watchpoint(token_box[0])
-            self.sim.schedule(model.delay_after_store(), fut.resolve, w_addr)
+            self.sim.post(model.delay_after_store(), fut.resolve, w_addr)
 
         token_box.append(self.memory.add_watchpoint(line, CACHE_LINE, on_write))
         return fut
@@ -82,7 +82,7 @@ class MemoryWaiter:
         """
         fut = Future(self.sim)
         if self.memory.read(addr, 1)[0] == expected:
-            self.sim.schedule(model.delay_after_store(), fut.resolve, expected)
+            self.sim.post(model.delay_after_store(), fut.resolve, expected)
             return fut
         line = cache_line_of(addr)
         token_box: list = []
@@ -91,7 +91,7 @@ class MemoryWaiter:
             if self.memory.read(addr, 1)[0] != expected:
                 return
             self.memory.remove_watchpoint(token_box[0])
-            self.sim.schedule(model.delay_after_store(), fut.resolve, expected)
+            self.sim.post(model.delay_after_store(), fut.resolve, expected)
 
         token_box.append(self.memory.add_watchpoint(line, CACHE_LINE, on_write))
         return fut
@@ -105,7 +105,7 @@ class MemoryWaiter:
         """
         fut = Future(self.sim)
         if self.memory.read_u64(addr) != 0:
-            self.sim.schedule(model.delay_after_store(), fut.resolve, self.memory.read_u64(addr))
+            self.sim.post(model.delay_after_store(), fut.resolve, self.memory.read_u64(addr))
             return fut
         line = cache_line_of(addr)
         token_box: list = []
@@ -115,7 +115,7 @@ class MemoryWaiter:
             if value == 0:
                 return  # unrelated store to the same line
             self.memory.remove_watchpoint(token_box[0])
-            self.sim.schedule(model.delay_after_store(), fut.resolve, value)
+            self.sim.post(model.delay_after_store(), fut.resolve, value)
 
         token_box.append(self.memory.add_watchpoint(line, CACHE_LINE, on_write))
         return fut

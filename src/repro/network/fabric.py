@@ -18,7 +18,7 @@ from typing import Any, Callable, Optional
 from ..sim.component import Component
 from ..sim.engine import Simulator
 from .config import NetworkConfig
-from .message import Delivery, DeliveryInfo, Message
+from .message import Delivery, DeliveryInfo, Message, MTU, PACKET_HEADER_BYTES
 from .routing import PathChoice, RoutingMode, choose_path
 from .topology.base import Topology
 
@@ -58,6 +58,10 @@ class BaseFabric(Component):
         #: (src, dst) -> (static_chans, static_hops, ((chans, penalty, hops), ...))
         #: — topology routes are immutable, so cache them per pair.
         self._route_cache: dict[tuple[int, int], tuple] = {}
+        #: (src, dst) -> (static_path, candidate_paths) switch lists;
+        #: the packet fabric routes per packet, and recomputing
+        #: Valiant/derouted candidates per packet dominated its profile.
+        self._paths_cache: dict[tuple[int, int], tuple] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
         #: Optional fault hook: called with each Delivery just before it
@@ -66,6 +70,12 @@ class BaseFabric(Component):
         self.deliveries_dropped = 0
         #: canonical latency summary, shared across fabrics in one sim.
         self._lat_summary = sim.stats.summary("fabric.msg_latency_ns")
+        #: adaptive-routing stream, resolved once (same draws as going
+        #: through rng.choice each send — stream creation is keyed by
+        #: name, and choice(n==1) never draws).
+        self._route_rng = sim.rng.stream(f"{self.name}.route")
+        #: reciprocal so the serialization divide becomes a multiply.
+        self._inv_link_bw = 1.0 / self.config.link_bw
 
     def observable_metrics(self) -> dict[str, int]:
         """Attribute counters exposed to the observability collector."""
@@ -166,13 +176,30 @@ class BaseFabric(Component):
                 backlog += wait
         return backlog + len(path_switches) * self.config.hop_latency
 
+    def _pair_paths(self, src: int, dst: int) -> tuple:
+        """Cached (static_path, candidate_paths) for a node pair.
+
+        Topology routes are pure functions of the immutable topology;
+        callers must not mutate the returned lists (choose_path copies
+        the winning path before handing it out).
+        """
+        key = (src, dst)
+        cached = self._paths_cache.get(key)
+        if cached is None:
+            s_sw = self.topology.node_switch(src)
+            d_sw = self.topology.node_switch(dst)
+            cached = (
+                self.topology.static_path(s_sw, d_sw),
+                self.topology.candidate_paths(s_sw, d_sw),
+            )
+            self._paths_cache[key] = cached
+        return cached
+
     def select_path(self, src: int, dst: int, mode: RoutingMode) -> PathChoice:
         """Pick a switch path per the routing mode (load-aware when adaptive)."""
-        s_sw = self.topology.node_switch(src)
-        d_sw = self.topology.node_switch(dst)
+        static_path, cands = self._pair_paths(src, dst)
         if mode is RoutingMode.STATIC:
-            return PathChoice(self.topology.static_path(s_sw, d_sw), 0)
-        cands = self.topology.candidate_paths(s_sw, d_sw)
+            return PathChoice(list(static_path), 0)
         return choose_path(
             cands,
             mode,
@@ -268,11 +295,16 @@ class FlowFabric(BaseFabric):
             best = min(scores)
             slack = best * 0.05 if best * 0.05 > 1.0 else 1.0
             near = [i for i, sc in enumerate(scores) if sc <= best + slack]
-            idx = near[self.sim.rng.choice(f"{self.name}.route", len(near))]
+            if len(near) == 1:
+                idx = near[0]
+            else:
+                idx = near[int(self._route_rng.integers(0, len(near)))]
             chans, _pen, hops = cands[idx]
 
-        wire = msg.wire_size
-        ser = wire / self.config.link_bw
+        # msg.wire_size, inlined (two property hops per send add up).
+        n_pkts = -(-size // MTU) if size else 1
+        wire = size + n_pkts * PACKET_HEADER_BYTES
+        ser = wire * self._inv_link_bw
         lat = self._chan_latency
         bytes_acc = self.channel_bytes
         t_head = now
@@ -291,10 +323,17 @@ class FlowFabric(BaseFabric):
             hops=hops,
             path_index=idx,
         )
-        self.sim.schedule_at(t_deliver, self._deliver, dst, Delivery(msg, info))
-        spans = self.sim.spans
+        sim = self.sim
+        spans = sim.spans
         if spans.active and spans.wants("fabric"):
             sp = spans.begin("fabric", "msg_flight", src=src, dst=dst, size=size, hops=hops)
             if sp is not None:
-                self.sim.schedule_at(t_deliver, spans.end, sp)
+                # Delivery and span-end land at the same arrival time:
+                # one bucketed heap entry, delivery first.
+                sim.post_batch_at(
+                    t_deliver,
+                    ((self._deliver, (dst, Delivery(msg, info))), (spans.end, (sp,))),
+                )
+                return msg
+        sim.post_at(t_deliver, self._deliver, dst, Delivery(msg, info))
         return msg

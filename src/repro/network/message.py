@@ -24,7 +24,7 @@ PACKET_HEADER_BYTES = 30
 _msg_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One network operation's traffic between a pair of NICs."""
 
@@ -74,7 +74,7 @@ class Message:
         return pkts
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One MTU-or-smaller fragment of a message."""
 
@@ -96,7 +96,7 @@ class Packet:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryInfo:
     """Metadata handed to the receiving NIC along with traffic."""
 
@@ -106,7 +106,7 @@ class DeliveryInfo:
     path_index: int = 0  # which candidate path carried it (diagnostics)
 
 
-@dataclass
+@dataclass(slots=True)
 class Delivery:
     """What a fabric hands the destination NIC.
 

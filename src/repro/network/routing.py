@@ -37,8 +37,9 @@ class PathChoice:
 def choose_path(
     candidates: Sequence[list[int]],
     mode: RoutingMode,
-    load_fn: Callable[[list[int]], float],
-    rng_pick: Callable[[int], int],
+    load_fn: Callable[[list[int]], float] | None = None,
+    rng_pick: Callable[[int], int] = lambda n: 0,
+    scores: Sequence[float] | None = None,
 ) -> PathChoice:
     """Select a path from *candidates*.
 
@@ -46,14 +47,16 @@ def choose_path(
     minimal path).  ADAPTIVE scores candidates as ``backlog +
     hop_penalty`` (UGAL-style: a longer path must be idle enough to
     beat the minimal one) and picks uniformly among the near-best to
-    spread load.
+    spread load.  Callers that already hold per-candidate scores pass
+    them via *scores* instead of a *load_fn*.
     """
     if not candidates:
         raise ValueError("no candidate paths")
     if mode is RoutingMode.STATIC or len(candidates) == 1:
         return PathChoice(list(candidates[0]), 0)
 
-    scores = [load_fn(p) for p in candidates]
+    if scores is None:
+        scores = [load_fn(p) for p in candidates]
     best = min(scores)
     # Near-best set: within 5% or an absolute sliver; randomize among them.
     slack = max(best * 0.05, 1.0)

@@ -22,11 +22,11 @@ from ..sim.link import SerializingLink
 from .config import NetworkConfig
 from .fabric import BaseFabric
 from .message import Delivery, DeliveryInfo, Message, Packet
-from .routing import RoutingMode
+from .routing import PathChoice, RoutingMode, choose_path
 from .topology.base import Topology
 
 
-@dataclass
+@dataclass(slots=True)
 class RoutedPacket:
     """A packet plus its source route and current position."""
 
@@ -72,7 +72,7 @@ class Switch(Component):
     def on_packet(self, env: RoutedPacket) -> None:
         """Receive a packet, traverse the crossbar, forward it."""
         xbar = env.packet.wire_size / self.config.crossbar_bw
-        self.sim.schedule(self.config.switch_latency + xbar, self._forward, env)
+        self.sim.post(self.config.switch_latency + xbar, self._forward, env)
 
     def _forward(self, env: RoutedPacket) -> None:
         self.packets_forwarded += 1
@@ -133,6 +133,10 @@ class PacketFabric(BaseFabric):
         self.packets_delivered = 0
         #: open per-message flight spans: id(msg) -> [span, packets_left]
         self._msg_spans: dict[int, list] = {}
+        #: (src, dst) -> (static_path, cands, scorers); scorers hold the
+        #: serializing-link free_at dicts along each candidate so
+        #: per-packet adaptive scoring skips the port/dict traversal.
+        self._scored_paths: dict[tuple[int, int], tuple] = {}
 
     def observable_metrics(self) -> dict[str, int]:
         metrics = super().observable_metrics()
@@ -166,6 +170,46 @@ class PacketFabric(BaseFabric):
             if sp is not None:
                 self._msg_spans[id(msg)] = [sp, n_pkts]
         return msg
+
+    def select_path(self, src: int, dst: int, mode: RoutingMode) -> PathChoice:
+        """Load-aware path choice, scored from cached channel handles.
+
+        Semantically identical to the BaseFabric version (same UGAL
+        scoring, same rng stream, same near-best tie-break) — only the
+        per-packet port/dict traversal is hoisted into a one-time cache.
+        """
+        key = (src, dst)
+        entry = self._scored_paths.get(key)
+        if entry is None:
+            static_path, cands = self._pair_paths(src, dst)
+            ep = self.endpoints[src]
+            inj = (ep.inj_port.link._free_at, id(ep.inj_port))
+            scorers = []
+            for path in cands:
+                chans = [inj]
+                for u, v in zip(path, path[1:]):
+                    port = self.switches[u].to_switch[v]
+                    chans.append((port.link._free_at, id(port)))
+                scorers.append((chans, len(path) * self.config.hop_latency))
+            entry = (static_path, cands, scorers)
+            self._scored_paths[key] = entry
+        static_path, cands, scorers = entry
+        if mode is RoutingMode.STATIC:
+            return PathChoice(list(static_path), 0)
+        now = self.sim.now
+        scores = []
+        for chans, base in scorers:
+            for free_at, pid in chans:
+                t = free_at[pid]
+                if t > now:
+                    base += t - now
+            scores.append(base)
+        return choose_path(
+            cands,
+            mode,
+            rng_pick=lambda n: self.sim.rng.choice(f"{self.name}.route", n),
+            scores=scores,
+        )
 
     def injection_busy_until(self, node: int) -> float:
         ep = self.endpoints[node]

@@ -138,7 +138,7 @@ class BaseNic(Component):
             self.stat("rx_dropped_failed").add()
             return
         # NIC pipeline processes each arrival (packet or whole message).
-        self.sim.schedule(self.config.nic_proc, self._handle, delivery)
+        self.sim.post(self.config.nic_proc, self._handle, delivery)
 
     def _handle(self, delivery: Delivery) -> None:
         fn = self._dispatch.get(type(delivery.message.header))
@@ -196,7 +196,7 @@ class BaseNic(Component):
         after: float = 0.0,
     ) -> None:
         """Put a message on the fabric ``after`` ns from now."""
-        self.sim.schedule(after, self._inject_now, dst, size, header, data, mode)
+        self.sim.post(after, self._inject_now, dst, size, header, data, mode)
 
     def _inject_now(self, dst: int, size: int, header: Any, data: bytes, mode) -> Message:
         self.stat("tx_messages").add()
@@ -230,4 +230,4 @@ class BaseNic(Component):
         return Future(self.sim)
 
     def resolve_at(self, fut: Future, time: float, value: Any = None) -> None:
-        self.sim.schedule_at(max(time, self.sim.now), fut.resolve, value)
+        self.sim.post_at(max(time, self.sim.now), fut.resolve, value)

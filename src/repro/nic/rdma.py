@@ -125,7 +125,7 @@ class RdmaNic(BaseNic):
             self.stat("mrs_registered").add()
             fut.resolve(mr)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_dereg_mr(self, rkey: int) -> Future:
@@ -134,7 +134,7 @@ class RdmaNic(BaseNic):
         def do() -> None:
             fut.resolve(self.mr_table.pop(rkey, None) is not None)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_post_recv(
@@ -147,7 +147,7 @@ class RdmaNic(BaseNic):
             self.recv_queue.append((buffer, wr_id, tag))
             fut.resolve(True)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_write(
@@ -225,7 +225,7 @@ class RdmaNic(BaseNic):
         op = RdmaOp(hdr.op_id, CqKind.READ_DONE, dst, length, self.future(), wr_id)
         self._pending[hdr.op_id] = op
         self._read_dest[hdr.op_id] = dest_buffer
-        self.sim.schedule(self.cfg.issue_latency(), self.send_control, dst, hdr, mode)
+        self.sim.post(self.cfg.issue_latency(), self.send_control, dst, hdr, mode)
         return op
 
     # ------------------------------------------------------------------ failures
@@ -273,7 +273,7 @@ class RdmaNic(BaseNic):
             self.stat("writes_rejected").add()
             self.send_control(msg.src, AckHeader(op_id=hdr.op_id, ok=False))
             return
-        self.sim.schedule(
+        self.sim.post(
             self.pcie.latency, self._place_write, msg.src, hdr, frag_off, nbytes, data
         )
 
@@ -295,7 +295,7 @@ class RdmaNic(BaseNic):
         if hdr.imm is not None:
             # Immediate data produces a *target-side* CQ entry; it
             # pipelines behind the payload DMA (posted writes).
-            self.sim.schedule(
+            self.sim.post(
                 self.cfg.completion_pipeline_gap,
                 self.cq.push,
                 CqEntry(
@@ -343,7 +343,7 @@ class RdmaNic(BaseNic):
             self._recv_claims.pop(hdr.op_id, None)
             self.send_control(msg.src, AckHeader(op_id=hdr.op_id, ok=False))
             return
-        self.sim.schedule(
+        self.sim.post(
             self.pcie.latency,
             self._place_send,
             msg.src,
@@ -375,7 +375,7 @@ class RdmaNic(BaseNic):
         self._recv_claims.pop(hdr.op_id, None)
         self.send_control(src, AckHeader(op_id=hdr.op_id))
         # The recv CQE pipelines behind the payload DMA (posted writes).
-        self.sim.schedule(
+        self.sim.post(
             self.cfg.completion_pipeline_gap,
             self.cq.push,
             CqEntry(
@@ -396,7 +396,7 @@ class RdmaNic(BaseNic):
             data = self.memory.read(hdr.raddr, hdr.length)
             self._inject_now(msg.src, hdr.length, RdmaReadReply(op_id=hdr.op_id, ok=True), data, None)
 
-        self.sim.schedule(self.pcie.latency, reply)
+        self.sim.post(self.pcie.latency, reply)
 
     def _on_read_reply(self, delivery: Delivery) -> None:
         msg = delivery.message
@@ -434,7 +434,7 @@ class RdmaNic(BaseNic):
                 op.done.resolve(entry)
 
         self._op_bytes[hdr.op_id] = got
-        self.sim.schedule(self.pcie.latency, place)
+        self.sim.post(self.pcie.latency, place)
 
     def _on_ack(self, delivery: Delivery) -> None:
         hdr: AckHeader = delivery.message.header
@@ -460,4 +460,4 @@ class RdmaNic(BaseNic):
                 self.cq.push(entry)
             op.done.resolve(entry)
 
-        self.sim.schedule(self.pcie.latency, finish)
+        self.sim.post(self.pcie.latency, finish)

@@ -215,7 +215,7 @@ class RvmaNic(BaseNic):
             self.trace("init_window", mailbox=mailbox)
             fut.resolve(entry)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_post_buffer(
@@ -249,7 +249,7 @@ class RvmaNic(BaseNic):
                 self.transport.on_buffer_posted(entry.mailbox)
             fut.resolve(pb)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_close(self, mailbox: int) -> Future:
@@ -264,7 +264,7 @@ class RvmaNic(BaseNic):
                     self.op_journal.note_close(entry.mailbox)
             fut.resolve(entry is not None)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_inc_epoch(self, mailbox: int) -> Future:
@@ -288,7 +288,7 @@ class RvmaNic(BaseNic):
             record = self._complete_active(entry)
             fut.resolve(record)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_set_threshold(self, mailbox: int, threshold: int) -> Future:
@@ -314,7 +314,7 @@ class RvmaNic(BaseNic):
                 self._complete_active(entry)
             fut.resolve(True)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_get_epoch(self, mailbox: int) -> Future:
@@ -325,7 +325,7 @@ class RvmaNic(BaseNic):
             entry = self.lut.lookup(mailbox)
             fut.resolve(entry.epoch if entry is not None else -1)
 
-        self.sim.schedule(self.pcie.round_trip(), do)
+        self.sim.post(self.pcie.round_trip(), do)
         return fut
 
     def hw_rewind(self, mailbox: int, epochs_back: int = 1) -> Future:
@@ -337,7 +337,7 @@ class RvmaNic(BaseNic):
             entry = self.lut.lookup(mailbox)
             fut.resolve(None if entry is None else self.lut.rewind(entry, epochs_back))
 
-        self.sim.schedule(self.pcie.round_trip(), do)
+        self.sim.post(self.pcie.round_trip(), do)
         return fut
 
     def hw_set_catch_all(self, mailbox: int) -> Future:
@@ -351,7 +351,7 @@ class RvmaNic(BaseNic):
                 self.op_journal.note_catch_all(entry.mailbox)
             fut.resolve(entry is not None)
 
-        self.sim.schedule(self.cfg.issue_latency(), do)
+        self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
     def hw_put(
@@ -388,7 +388,7 @@ class RvmaNic(BaseNic):
             self._inject_now(dst, size, hdr, data, mode)
             self.resolve_at(op.local_done, self.local_injection_done(), op)
 
-        self.sim.schedule(self.cfg.issue_latency(), issue)
+        self.sim.post(self.cfg.issue_latency(), issue)
         return op
 
     def hw_get(
@@ -408,7 +408,7 @@ class RvmaNic(BaseNic):
         op._dest = dest_buffer  # type: ignore[attr-defined]
         op._mode = mode  # type: ignore[attr-defined]
         self._gets[hdr.op_id] = op
-        self.sim.schedule(
+        self.sim.post(
             self.cfg.issue_latency(), self.send_control, dst, hdr, mode
         )
         return op
@@ -480,7 +480,7 @@ class RvmaNic(BaseNic):
             self._inflight_flow_bytes[mailbox] = (
                 self._inflight_flow_bytes.get(mailbox, 0) + nbytes
             )
-        self.sim.schedule(
+        self.sim.post(
             self.pcie.latency, self._admit_put, hdr, msg.src, frag_off, nbytes, data
         )
 
@@ -661,7 +661,7 @@ class RvmaNic(BaseNic):
         # it pipelines behind the data DMA (posted writes), so it costs
         # only the pipeline gap — plus a full host round trip when the
         # threshold counter spilled to host memory.
-        self.sim.schedule(
+        self.sim.post(
             self.cfg.completion_pipeline_gap + spill_penalty,
             self._write_completion,
             pb,
@@ -700,7 +700,7 @@ class RvmaNic(BaseNic):
                 msg.src, hdr.length, RvmaGetReply(op_id=hdr.op_id, ok=True), data, None
             )
 
-        self.sim.schedule(self.pcie.latency, reply)  # DMA read of host memory
+        self.sim.post(self.pcie.latency, reply)  # DMA read of host memory
 
     def _on_get_reply(self, delivery: Delivery) -> None:
         msg = delivery.message
@@ -730,7 +730,7 @@ class RvmaNic(BaseNic):
                 op.done.resolve(True)
 
         self._op_bytes[-hdr.op_id] = got
-        self.sim.schedule(self.pcie.latency, place)
+        self.sim.post(self.pcie.latency, place)
 
     # --- NACKs -----------------------------------------------------------------------
 

@@ -216,6 +216,32 @@ class ReliableTransport:
         )
         return msg
 
+    def _transmit_batch(self, recs: list) -> None:
+        """Retransmit a burst of records, re-arming timers in batch.
+
+        Jitter draws happen in record order (same rng stream consumption
+        as one-at-a-time transmission); records whose jittered delays
+        coincide — always, when ``jitter_frac`` is 0 — share a single
+        bucketed heap entry via :meth:`Simulator.schedule_batch`.
+        """
+        sim = self.sim
+        jfrac = self.cfg.jitter_frac
+        stream = f"{self.nic.name}.rel.jitter"
+        by_delay: dict = {}
+        for rec in recs:
+            self.nic.fabric.send(
+                self.nic.node_id, rec.dst, rec.size,
+                header=rec.env, data=rec.data, mode=rec.mode,
+            )
+            jitter = 1.0 + jfrac * sim.rng.random(stream)
+            by_delay.setdefault(rec.timeout * jitter, []).append(rec)
+        for delay, group in by_delay.items():
+            events = sim.schedule_batch(
+                delay, [(self._on_timeout, (r.dst, r.flow, r.seq)) for r in group]
+            )
+            for r, ev in zip(group, events):
+                r.timer = ev
+
     def _on_timeout(self, dst: int, flow: int, seq: int) -> None:
         fl = self._tx.get((dst, flow))
         rec = fl.pending.get(seq) if fl is not None else None
@@ -494,6 +520,7 @@ class ReliableTransport:
                     f"node{self.nic.node_id}->node{dst} flow {flow:#x}: "
                     f"journal retains from seq {hole}, peer needs {cum + 1}"
                 )
+            replay_recs = []
             for e in entries:
                 rec = fl.pending.get(e.seq)
                 if rec is None:
@@ -506,7 +533,8 @@ class ReliableTransport:
                 elif rec.timer is not None:
                     rec.timer.cancel()
                 self._stat("rel_replays")
-                self._transmit(rec)
+                replay_recs.append(rec)
+            self._transmit_batch(replay_recs)
             fl.next_seq = max(fl.next_seq, journal.next_seq_hint(dst, flow))
         return holes
 

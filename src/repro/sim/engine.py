@@ -8,12 +8,47 @@ motifs) is built from callbacks scheduled here.
 Determinism: events at equal times run in (priority, insertion-order),
 and all randomness flows through :class:`repro.sim.rng.RngRegistry`,
 so a simulation with a fixed seed is exactly reproducible.
+
+Hot-path machinery (all invisible to scheduling semantics — the
+conformance suite in ``tests/unit/test_engine_conformance.py`` pins
+this engine event-for-event to the reference pure-heap implementation):
+
+* ``post``/``post_at`` — kwargs-free fire-and-forget scheduling.  No
+  handle escapes, so no :class:`Event` object exists at all: the heap
+  payload is a plain ``(fn, args)`` tuple, uncancellable by
+  construction, with nothing to allocate or bookkeep per event.
+* **Bucketed batches** — ``post_batch_at``/``schedule_batch`` queue a
+  homogeneous same-(time, priority) storm (fabric flight fan-out,
+  retransmit-timer re-arming) as ONE heap entry holding the member
+  list, turning k pushes into one push + k appends.  Buckets drain in
+  global (time, priority, seq) order: before each member runs, the
+  drain compares against the current heap top and re-queues the
+  remainder if anything (e.g. a just-posted delay-0 event or a
+  higher-priority tie) must run first.  Fire-and-forget bucket
+  members are pooled Event objects recycled through a free list.
+* **O(1) ``pending_events``** — derived as created − executed −
+  cancelled from three monotonic counters, so the post/run hot paths
+  carry no extra bookkeeping (leased events carry an ``owner`` backref
+  for the cancel path).
+* **Heap compaction** — lazy cancellation used to leave dead entries in
+  the heap forever; chaos schedules (thousands of ACK-cancelled
+  retransmit timers) grew it unboundedly.  The engine now physically
+  rebuilds the heap in place once cancelled entries outnumber live
+  ones (past a small floor), keeping ``len(_heap)`` bounded.
+* **GC pause during drain** — ``run()``'s full-drain fast path disables
+  the cyclic collector (per-event tuples are acyclic, so gen-0 sweeps
+  are pure overhead) and restores it on exit.
+
+``Simulator(fast=False)`` (or ``DEFAULT_FAST = False``) disables the
+event pool and bucket path while keeping identical semantics — the
+integration suite runs in both modes via a conftest fixture.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.observability.spans import SpanTracer
 
@@ -22,9 +57,37 @@ from .rng import RngRegistry
 from .stats import StatsRegistry
 from .trace import Tracer
 
+#: Engine mode for newly built simulators: True enables the pooled /
+#: bucketed fast path.  Tests flip this (via the ``engine_mode``
+#: fixture) to run the whole suite against the plain-heap mode.
+DEFAULT_FAST = True
+
+#: Upper bound on recycled Event objects kept per simulator.
+_POOL_CAP = 8192
+
+#: Compaction trigger floor: don't bother rebuilding tiny heaps.
+_COMPACT_MIN_GARBAGE = 64
+
 
 class SimulationError(RuntimeError):
     """Raised for engine-level misuse (negative delays, time travel...)."""
+
+
+class _Bucket:
+    """A batch of same-(time, priority) events behind one heap entry.
+
+    ``items[pos:]`` are the members not yet executed.  The heap entry's
+    seq is the first pending member's seq, so bucket-vs-single ordering
+    reduces to the ordinary tuple comparison.
+    """
+
+    __slots__ = ("time", "priority", "items", "pos")
+
+    def __init__(self, time: float, priority: int, items: list) -> None:
+        self.time = time
+        self.priority = priority
+        self.items = items
+        self.pos = 0
 
 
 class Simulator:
@@ -37,6 +100,10 @@ class Simulator:
     trace:
         When true, the :attr:`tracer` records every traced event
         (components call ``sim.tracer.record(...)``).
+    fast:
+        Engine mode; ``None`` reads :data:`DEFAULT_FAST`.  Both modes
+        are semantically identical — ``fast=True`` adds event pooling
+        and the bucketed batch path.
 
     Examples
     --------
@@ -48,13 +115,41 @@ class Simulator:
     (5.0, ['hello'])
     """
 
-    def __init__(self, seed: int = 0xC0FFEE, trace: bool = False) -> None:
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_running",
+        "events_executed",
+        "fast",
+        "_cancelled",
+        "_garbage",
+        "_pool",
+        "rng",
+        "stats",
+        "tracer",
+        "spans",
+        "_components",
+    )
+
+    def __init__(
+        self, seed: int = 0xC0FFEE, trace: bool = False, fast: Optional[bool] = None
+    ) -> None:
         self.now: float = 0.0
-        #: heap of (time, priority, seq, Event) tuples.
+        #: heap of (time, priority, seq, Event-or-_Bucket) tuples.
         self._heap: list[tuple] = []
         self._seq = 0
         self._running = False
         self.events_executed = 0
+        self.fast = DEFAULT_FAST if fast is None else bool(fast)
+        #: total queued events ever cancelled; pending count is derived
+        #: (created - executed - cancelled) so the post/run hot paths
+        #: carry no extra counter updates.
+        self._cancelled = 0
+        #: cancelled events still physically queued (compaction trigger).
+        self._garbage = 0
+        #: recycled poolable events (fast mode only).
+        self._pool: list[Event] = []
         self.rng = RngRegistry(seed)
         self.stats = StatsRegistry()
         self.tracer = Tracer(enabled=trace, clock=lambda: self.now)
@@ -89,14 +184,179 @@ class Simulator:
             raise SimulationError(f"cannot schedule at {time} < now {self.now}")
         self._seq += 1
         ev = Event(time, priority, self._seq, fn, args, kwargs)
+        ev.owner = self
         # Heap entries are plain tuples: C-speed comparisons instead of
         # Event.__lt__ (the single hottest call in large motif runs).
         heapq.heappush(self._heap, (time, priority, self._seq, ev))
         return ev
 
+    def schedule_batch(
+        self,
+        delay: float,
+        calls: Sequence[tuple],
+        priority: int = PRIORITY_NORMAL,
+    ) -> list[Event]:
+        """Schedule a homogeneous batch of ``(fn, args)`` pairs, leased.
+
+        All members run ``delay`` ns from now at the same priority, in
+        list order (they receive consecutive seqs).  Returns one
+        cancellable :class:`Event` per member.  Batches of two or more
+        share a single heap entry (the timer-wheel bucket path); the
+        retransmit layer uses this to re-arm many timers at once.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        events = []
+        seq = self._seq
+        for fn, args in calls:
+            seq += 1
+            ev = Event(time, priority, seq, fn, args)
+            ev.owner = self
+            events.append(ev)
+        self._seq = seq
+        n = len(events)
+        if n == 0:
+            return events
+        if n == 1 or not self.fast:
+            for ev in events:
+                heapq.heappush(self._heap, (time, priority, ev.seq, ev))
+        else:
+            bucket = _Bucket(time, priority, events)
+            heapq.heappush(self._heap, (time, priority, events[0].seq, bucket))
+        return events
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget ``fn(*args)`` in ``delay`` ns (normal priority).
+
+        The fast-scheduling hot path: kwargs-free and handle-free.  The
+        heap payload is a plain ``(fn, args)`` tuple — no Event object
+        exists, so there is nothing to allocate, recycle, or cancel.
+        Use for the overwhelmingly common schedule-and-never-cancel
+        case; use :meth:`schedule` when a cancellation handle is needed.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq = self._seq + 1
+        heapq.heappush(
+            self._heap, (self.now + delay, PRIORITY_NORMAL, seq, (fn, args))
+        )
+
+    def post_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fire-and-forget ``fn(*args)`` at an absolute time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        seq = self._seq = self._seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, (fn, args)))
+
+    def post_batch_at(
+        self,
+        time: float,
+        calls: Iterable[tuple],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fire-and-forget a same-(time, priority) batch of ``(fn, args)``.
+
+        One heap entry regardless of batch size (two or more members
+        share a bucket); members run in list order.  This is the fabric
+        flight path: a send's delivery and its span-end land at the
+        same arrival time.
+        """
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        items = calls if isinstance(calls, (list, tuple)) else list(calls)
+        seq = self._seq
+        if len(items) < 2 or not self.fast:
+            for fn, args in items:
+                seq += 1
+                heapq.heappush(self._heap, (time, priority, seq, (fn, args)))
+            self._seq = seq
+            return
+        pool = self._pool
+        events = []
+        for fn, args in items:
+            seq += 1
+            if pool:
+                ev = pool.pop()
+                ev.time = time
+                ev.priority = priority
+                ev.seq = seq
+                ev.fn = fn
+                ev.args = args
+            else:
+                ev = Event(time, priority, seq, fn, args)
+                ev.poolable = True
+            events.append(ev)
+        self._seq = seq
+        bucket = _Bucket(time, priority, events)
+        heapq.heappush(self._heap, (time, priority, events[0].seq, bucket))
+
+    def post_batch(
+        self,
+        delay: float,
+        calls: Iterable[tuple],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fire-and-forget a same-delay batch of ``(fn, args)`` pairs."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.post_batch_at(self.now + delay, calls, priority=priority)
+
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (lazy removal)."""
         event.cancel()
+
+    # --- live/garbage accounting ---------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """A queued event was cancelled: update counters, maybe compact."""
+        self._cancelled += 1
+        g = self._garbage + 1
+        self._garbage = g
+        if g >= _COMPACT_MIN_GARBAGE and g > self._seq - self.events_executed - self._cancelled:
+            self._compact()
+
+    def _drop_garbage(self) -> None:
+        """A cancelled entry was physically removed from a queue."""
+        if self._garbage > 0:
+            self._garbage -= 1
+
+    def _compact(self) -> None:
+        """Physically remove cancelled entries; rebuild the heap in place.
+
+        In place matters: ``run()``/``step()`` hold local aliases of
+        ``self._heap``, so the list object must survive.  Buckets are
+        trimmed (and dropped when empty); surviving bucket entries are
+        re-keyed to their first live member's seq.
+        """
+        survivors = []
+        for entry in self._heap:
+            payload = entry[3]
+            if type(payload) is _Bucket:
+                items = [e for e in payload.items[payload.pos :] if not e.cancelled]
+                if not items:
+                    continue
+                payload.items = items
+                payload.pos = 0
+                survivors.append((entry[0], entry[1], items[0].seq, payload))
+            elif type(payload) is tuple or not payload.cancelled:
+                survivors.append(entry)
+        self._heap[:] = survivors
+        heapq.heapify(self._heap)
+        self._garbage = 0
+
+    def _recycle(self, ev: Event) -> None:
+        pool = self._pool
+        if len(pool) < _POOL_CAP:
+            ev.fn = None
+            ev.args = ()
+            pool.append(ev)
 
     # --- component registry ----------------------------------------------------
 
@@ -115,20 +375,76 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending (non-cancelled) event, or None."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap:
+            payload = heap[0][3]
+            if type(payload) is tuple:
+                return heap[0][0]
+            if type(payload) is _Bucket:
+                items, pos, n = payload.items, payload.pos, len(payload.items)
+                while pos < n and items[pos].cancelled:
+                    pos += 1
+                    self._drop_garbage()
+                payload.pos = pos
+                if pos >= n:
+                    heapq.heappop(heap)
+                    continue
+                return heap[0][0]
+            if payload.cancelled:
+                heapq.heappop(heap)
+                self._drop_garbage()
+                continue
+            return heap[0][0]
+        return None
+
+    def _execute(self, time: float, ev: Event) -> None:
+        self.now = time
+        self.events_executed += 1
+        fn, args, kw = ev.fn, ev.args, ev.kwargs
+        if ev.poolable:
+            self._recycle(ev)
+        else:
+            ev.owner = None
+        if kw:
+            fn(*args, **kw)
+        else:
+            fn(*args)
 
     def step(self) -> bool:
         """Execute the next event.  Returns False when the heap is empty."""
         heap = self._heap
         while heap:
-            time, _prio, _seq, ev = heapq.heappop(heap)
-            if ev.cancelled:
+            time, prio, _seq, payload = heapq.heappop(heap)
+            if type(payload) is tuple:
+                self.now = time
+                self.events_executed += 1
+                fn, args = payload
+                fn(*args)
+                return True
+            if type(payload) is _Bucket:
+                items, pos, n = payload.items, payload.pos, len(payload.items)
+                while pos < n and items[pos].cancelled:
+                    pos += 1
+                    self._drop_garbage()
+                if pos >= n:
+                    continue
+                ev = items[pos]
+                # Anything queued between the bucket's (possibly stale)
+                # key and this member must run first: re-key and retry.
+                if heap and heap[0] < (time, prio, ev.seq):
+                    payload.pos = pos
+                    heapq.heappush(heap, (time, prio, ev.seq, payload))
+                    continue
+                pos += 1
+                if pos < n:
+                    payload.pos = pos
+                    heapq.heappush(heap, (time, prio, items[pos].seq, payload))
+                self._execute(time, ev)
+                return True
+            if payload.cancelled:
+                self._drop_garbage()
                 continue
-            self.now = time
-            self.events_executed += 1
-            ev.fn(*ev.args, **ev.kwargs)
+            self._execute(time, payload)
             return True
         return False
 
@@ -142,19 +458,74 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        gc_was_enabled = False
         try:
             if until is None and max_events is None:
                 # Fast path (the common case): drain without the
-                # peek-then-step double heap access.
+                # peek-then-step double heap access.  Event recycling is
+                # inlined (locals are captured before fn runs, so the
+                # callback may immediately reuse the pooled object).
+                # Cyclic GC is paused for the drain: per-event
+                # allocations (heap tuples, arg tuples) are acyclic, and
+                # generation-0 sweeps otherwise trigger every ~700
+                # events; re-enabled on exit, so callers see no change.
+                gc_was_enabled = gc.isenabled()
+                if gc_was_enabled:
+                    gc.disable()
                 heap = self._heap
+                pool = self._pool
                 pop = heapq.heappop
+                push = heapq.heappush
                 while heap:
-                    time, _prio, _seq, ev = pop(heap)
+                    time, prio, _seq, ev = pop(heap)
+                    cls = type(ev)
+                    if cls is tuple:
+                        # Fire-and-forget single: uncancellable by
+                        # construction, nothing to bookkeep.
+                        self.now = time
+                        self.events_executed += 1
+                        fn, args = ev
+                        fn(*args)
+                        continue
+                    if cls is _Bucket:
+                        bucket = ev
+                        items, pos, n = bucket.items, bucket.pos, len(bucket.items)
+                        while pos < n:
+                            ev = items[pos]
+                            pos += 1
+                            if ev.cancelled:
+                                self._drop_garbage()
+                                continue
+                            if heap and heap[0] < (time, prio, ev.seq):
+                                bucket.pos = pos - 1
+                                push(heap, (time, prio, ev.seq, bucket))
+                                break
+                            self.now = time
+                            self.events_executed += 1
+                            fn, args, kw = ev.fn, ev.args, ev.kwargs
+                            if ev.poolable:
+                                if len(pool) < _POOL_CAP:
+                                    ev.fn = None
+                                    ev.args = ()
+                                    pool.append(ev)
+                            else:
+                                ev.owner = None
+                            if kw:
+                                fn(*args, **kw)
+                            else:
+                                fn(*args)
+                        continue
                     if ev.cancelled:
+                        self._drop_garbage()
                         continue
                     self.now = time
                     self.events_executed += 1
-                    ev.fn(*ev.args, **ev.kwargs)
+                    fn, args, kw = ev.fn, ev.args, ev.kwargs
+                    ev.owner = None
+                    if kw:
+                        fn(*args, **kw)
+                    else:
+                        fn(*args)
                 return self.now
             executed = 0
             while True:
@@ -170,6 +541,8 @@ class Simulator:
                 executed += 1
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
         return self.now
 
     def run_until_idle(self) -> float:
@@ -178,8 +551,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for entry in self._heap if not entry[3].cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._seq - self.events_executed - self._cancelled
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

@@ -3,6 +3,17 @@
 An :class:`Event` is a scheduled callback.  Events order by
 ``(time, priority, seq)`` so simultaneous events execute in a
 deterministic order: lower priority value first, then insertion order.
+
+Two kinds of events exist at runtime, distinguished by :attr:`poolable`:
+
+* **Leased** events are returned from ``Simulator.schedule*`` to the
+  caller, who may hold the handle and :meth:`cancel` it later.  They
+  carry an :attr:`owner` backref so the engine's live/garbage counters
+  stay O(1)-exact under lazy cancellation.
+* **Pooled** events back the fire-and-forget ``Simulator.post*`` fast
+  path.  No handle ever escapes the engine, so they can never be
+  cancelled, and after execution the engine recycles the object into a
+  free pool instead of leaving it for the allocator.
 """
 
 from __future__ import annotations
@@ -19,7 +30,17 @@ class Event:
     :meth:`repro.sim.engine.Simulator.cancel`.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "kwargs", "cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "fn",
+        "args",
+        "kwargs",
+        "cancelled",
+        "owner",
+        "poolable",
+    )
 
     def __init__(
         self,
@@ -35,12 +56,24 @@ class Event:
         self.seq = seq
         self.fn = fn
         self.args = args
-        self.kwargs = kwargs or {}
+        self.kwargs = kwargs or None
         self.cancelled = False
+        #: engine backref while the event sits in a queue; the engine
+        #: clears it once the event executes, so late cancels of an
+        #: already-fired handle (common in the ARQ transport) are no-ops
+        #: for the live/garbage accounting.
+        self.owner = None
+        #: True for engine-internal fire-and-forget events (no handle
+        #: escapes => safe to recycle after execution).
+        self.poolable = False
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the engine will skip it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            owner = self.owner
+            if owner is not None:
+                owner._note_cancel()
 
     # Heap ordering ---------------------------------------------------------
 

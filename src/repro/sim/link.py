@@ -44,7 +44,7 @@ class Link:
 
     def transmit(self, src: "Port", payload: Any, size_bytes: int = 0) -> None:
         dst = self._peer(src)
-        self.sim.schedule(self.latency, dst.deliver, payload)
+        self.sim.post(self.latency, dst.deliver, payload)
 
 
 class SerializingLink(Link):
@@ -69,6 +69,7 @@ class SerializingLink(Link):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be > 0")
         self.bandwidth = bandwidth
+        self._inv_bw = 1.0 / bandwidth
         # Independent busy-until horizon per direction.
         self._free_at = {id(self.a): 0.0, id(self.b): 0.0}
         self.bytes_carried = 0
@@ -76,13 +77,17 @@ class SerializingLink(Link):
     def transmit(self, src: "Port", payload: Any, size_bytes: int = 0) -> None:
         dst = self._peer(src)
         now = self.sim.now
-        start = max(now, self._free_at[id(src)])
-        tail_out = start + (size_bytes / self.bandwidth if size_bytes else 0.0)
-        self._free_at[id(src)] = tail_out
+        sid = id(src)
+        free_at = self._free_at
+        start = free_at[sid]
+        if now > start:
+            start = now
+        tail_out = start + size_bytes * self._inv_bw
+        free_at[sid] = tail_out
         self.bytes_carried += size_bytes
         # PRIORITY_HIGH so arrivals at time T are visible to computations
         # scheduled at T with normal priority.
-        self.sim.schedule_at(tail_out + self.latency, dst.deliver, payload, priority=PRIORITY_HIGH)
+        self.sim.post_at(tail_out + self.latency, dst.deliver, payload, priority=PRIORITY_HIGH)
 
     def busy_until(self, src: "Port") -> float:
         """When the TX channel out of *src* becomes free (for tests)."""

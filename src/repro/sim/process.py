@@ -42,13 +42,18 @@ class Future:
         self.done = True
         self.value = value
         waiters, self._waiters = self._waiters, []
-        for cb in waiters:
-            self.sim.schedule(0.0, cb, value)
+        n = len(waiters)
+        if n == 1:
+            self.sim.post(0.0, waiters[0], value)
+        elif n:
+            # Simultaneous wakeups (barrier releases, threshold
+            # completions) share one bucketed heap entry.
+            self.sim.post_batch(0.0, [(cb, (value,)) for cb in waiters])
 
     def add_callback(self, cb) -> None:
         """Invoke ``cb(value)`` once resolved (immediately if already done)."""
         if self.done:
-            self.sim.schedule(0.0, cb, self.value)
+            self.sim.post(0.0, cb, self.value)
         else:
             self._waiters.append(cb)
 
@@ -75,7 +80,7 @@ class SimProcess:
         self.name = name
         self.done_future = Future(sim)
         self.result: Any = None
-        sim.schedule(0.0, self._advance, None)
+        sim.post(0.0, self._advance, None)
 
     @property
     def finished(self) -> bool:
@@ -92,7 +97,7 @@ class SimProcess:
 
     def _wait_on(self, yielded: Any) -> None:
         if isinstance(yielded, (int, float)):
-            self.sim.schedule(float(yielded), self._advance, None)
+            self.sim.post(float(yielded), self._advance, None)
         elif isinstance(yielded, Future):
             yielded.add_callback(self._advance)
         elif isinstance(yielded, AllOf):
@@ -106,7 +111,7 @@ class SimProcess:
 
     def _wait_all(self, futures: list[Future]) -> None:
         if not futures:
-            self.sim.schedule(0.0, self._advance, [])
+            self.sim.post(0.0, self._advance, [])
             return
         remaining = [len(futures)]
         values: list[Any] = [None] * len(futures)

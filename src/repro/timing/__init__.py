@@ -12,6 +12,7 @@ from .bandwidth import (
     rdma_bandwidth,
     rvma_bandwidth,
 )
+from .cache import clear_timing_caches, memoize_timing
 from .calibration import (
     FIG45_SIZES,
     TESTBEDS,
@@ -39,7 +40,9 @@ __all__ = [
     "UCX_CX5_THUNDERX2",
     "VERBS_OPA_SKYLAKE",
     "amortization_analysis",
+    "clear_timing_caches",
     "latency_sweep",
+    "memoize_timing",
     "measure_setup_ns",
     "message_rate_comparison",
     "rdma_bandwidth",

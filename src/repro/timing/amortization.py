@@ -24,6 +24,7 @@ from ..rdma.completion_modes import CompletionMode
 from ..rdma.handshake import client_request_region, server_serve_region
 from ..rdma.verbs import VerbsEndpoint
 from ..sim.process import spawn
+from .cache import memoize_timing
 from .calibration import Testbed
 from .microbench import rdma_ucx_latency, rdma_verbs_latency
 
@@ -46,6 +47,7 @@ class AmortizationPoint:
         return max(1, math.ceil(self.setup_ns / (self.tolerance * self.steady_ns)))
 
 
+@memoize_timing
 def measure_setup_ns(testbed: Testbed, size: int, interface: str = "ucx") -> float:
     """Simulate the Fig-1 handshake and return its elapsed ns.
 

@@ -24,6 +24,7 @@ from ..network.routing import RoutingMode
 from ..rdma.handshake import client_request_region, server_serve_region
 from ..rdma.verbs import VerbsEndpoint
 from ..sim.process import AllOf, spawn
+from .cache import memoize_timing
 from .calibration import Testbed
 from .microbench import _build
 
@@ -53,6 +54,7 @@ class BandwidthPoint:
         return self.bytes_per_ns / link_bw
 
 
+@memoize_timing
 def rvma_bandwidth(
     testbed: Testbed,
     size: int,
@@ -95,6 +97,7 @@ def rvma_bandwidth(
     return BandwidthPoint(size, n_messages, marks["end"] - marks["start"])
 
 
+@memoize_timing
 def rdma_bandwidth(
     testbed: Testbed,
     size: int,

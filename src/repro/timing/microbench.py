@@ -34,6 +34,7 @@ from ..rdma.handshake import client_request_region, server_serve_region
 from ..rdma.ucx import UcpEndpoint
 from ..rdma.verbs import VerbsEndpoint
 from ..sim.process import spawn
+from .cache import memoize_timing
 from .calibration import Testbed
 
 PING_MAILBOX = 0xA11CE
@@ -89,6 +90,7 @@ def _build(
 # ------------------------------------------------------------------------ RVMA
 
 
+@memoize_timing
 def rvma_latency(
     testbed: Testbed,
     size: int,
@@ -142,6 +144,7 @@ def rvma_latency(
 # ------------------------------------------------------------------------ RDMA / Verbs
 
 
+@memoize_timing
 def rdma_verbs_latency(
     testbed: Testbed,
     size: int,
@@ -237,6 +240,7 @@ def rdma_verbs_latency(
 # ------------------------------------------------------------------------ RDMA / UCX
 
 
+@memoize_timing
 def rdma_ucx_latency(
     testbed: Testbed,
     size: int,

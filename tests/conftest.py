@@ -17,6 +17,21 @@ def sim() -> Simulator:
     return Simulator(seed=1234)
 
 
+@pytest.fixture(params=["fast", "plain"])
+def engine_mode(request, monkeypatch) -> str:
+    """Run the test under both engine modes.
+
+    ``fast`` is the default pooled/bucketed scheduler; ``plain`` is the
+    straight-heap mode.  The fixture flips the module-level default so
+    every Simulator the test builds (including via Cluster.build)
+    inherits the mode — semantics must be identical in both.
+    """
+    import repro.sim.engine as engine
+
+    monkeypatch.setattr(engine, "DEFAULT_FAST", request.param == "fast")
+    return request.param
+
+
 @pytest.fixture
 def rvma_pair() -> Cluster:
     """Two RVMA nodes on one switch, packet fidelity, adaptive routing."""

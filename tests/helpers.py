@@ -2,7 +2,120 @@
 
 from __future__ import annotations
 
+import heapq
+from typing import Any, Callable, Optional
+
 from repro.sim import SimProcess, Simulator, spawn
+from repro.sim.engine import SimulationError
+from repro.sim.event import Event, PRIORITY_NORMAL
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import StatsRegistry
+from repro.sim.trace import Tracer
+
+
+class ReferenceSimulator:
+    """The pre-optimization pure-heap engine, kept verbatim as an oracle.
+
+    The scheduler-conformance suite runs identical programs on this and
+    on :class:`repro.sim.Simulator` (both fast and plain modes) and
+    asserts identical event order, tie-breaking, cancellation and
+    run-window behaviour.  Do not "improve" this class: its value is
+    that it stays the simple, obviously-correct implementation the
+    optimized engine must match event-for-event.
+    """
+
+    def __init__(self, seed: int = 0xC0FFEE, trace: bool = False) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._running = False
+        self.events_executed = 0
+        self.rng = RngRegistry(seed)
+        self.stats = StatsRegistry()
+        self.tracer = Tracer(enabled=trace, clock=lambda: self.now)
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        **kwargs: Any,
+    ) -> Event:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+        **kwargs: Any,
+    ) -> Event:
+        if time < self.now:
+            raise SimulationError(f"cannot schedule at {time} < now {self.now}")
+        self._seq += 1
+        ev = Event(time, priority, self._seq, fn, args, kwargs)
+        heapq.heappush(self._heap, (time, priority, self._seq, ev))
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        event.cancel()
+
+    def peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        heap = self._heap
+        while heap:
+            time, _prio, _seq, ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self.now = time
+            self.events_executed += 1
+            ev.fn(*ev.args, **(ev.kwargs or {}))
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            if until is None and max_events is None:
+                heap = self._heap
+                pop = heapq.heappop
+                while heap:
+                    time, _prio, _seq, ev = pop(heap)
+                    if ev.cancelled:
+                        continue
+                    self.now = time
+                    self.events_executed += 1
+                    ev.fn(*ev.args, **(ev.kwargs or {}))
+                return self.now
+            executed = 0
+            while True:
+                nxt = self.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    self.now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
 
 
 def run_gen(sim: Simulator, gen, name: str = "test"):

@@ -9,6 +9,13 @@ from repro.collectives import TreeComm
 from repro.sim import spawn
 
 
+@pytest.fixture(autouse=True)
+def _both_engine_modes(engine_mode):
+    """Every collective/MPI test runs under both the fast and plain
+    engines — tree fan-in/fan-out and fence ordering exercise batch
+    scheduling, so identical results across modes is a real check."""
+
+
 def _drive(cluster, rank_fn, n=None):
     n = n or cluster.n_nodes
     procs = [spawn(cluster.sim, rank_fn(r), f"r{r}") for r in range(n)]

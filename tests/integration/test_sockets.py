@@ -9,6 +9,13 @@ from repro.sockets import Connection, RvmaListener, SocketError, connect
 from repro.sim import spawn
 
 
+@pytest.fixture(autouse=True)
+def _both_engine_modes(engine_mode):
+    """Every sockets test runs under both the fast and plain engines —
+    the receiver-managed stream protocol is sensitive to event order,
+    so it doubles as a scheduler-equivalence check."""
+
+
 def _cluster(n=2):
     return Cluster.build(
         n_nodes=n, topology="star", nic_type="rvma", fidelity="packet",

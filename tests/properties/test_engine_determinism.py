@@ -1,0 +1,126 @@
+"""Determinism properties of the event engine.
+
+The optimized scheduler (pooling, tuple payloads, buckets, compaction,
+GC pausing) must be *invisible*: a fixed seed yields the identical
+event order, timestamps and metrics every run, whether the heap is
+drained by ``run()`` or single-stepped, and in both engine modes.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.motifs import Incast, RvmaProtocol
+from repro.sim import Simulator
+
+SEED = 0xD15EA5E
+
+
+def _storm(sim: Simulator, log: list, n: int = 400) -> None:
+    """A seeded storm mixing every scheduling API, including cancels."""
+    rng = sim.rng.stream("storm")
+    state = {"left": n}
+
+    def fire(tag: str) -> None:
+        log.append((sim.now, tag))
+        if state["left"] <= 0:
+            return
+        state["left"] -= 1
+        choice = int(rng.integers(0, 6))
+        delay = float(int(rng.integers(0, 4)))
+        if choice == 0:
+            sim.post(delay, fire, "post")
+        elif choice == 1:
+            sim.schedule(delay, fire, "sched")
+        elif choice == 2:
+            sim.schedule(delay, fire, "prio", priority=-10)
+        elif choice == 3:
+            dead = sim.schedule(delay + 1.0, fire, "dead")
+            dead.cancel()
+            sim.post(delay, fire, "after-cancel")
+        elif choice == 4:
+            sim.post_batch(delay, [(fire, ("b0",)), (fire, ("b1",))])
+        else:
+            evs = sim.schedule_batch(delay, [(fire, ("sb0",)), (fire, ("sb1",))])
+            evs[1].cancel()
+
+    sim.post(0.0, fire, "seed")
+
+
+def _run_storm(step: bool = False) -> tuple:
+    sim = Simulator(seed=SEED)
+    log: list = []
+    _storm(sim, log)
+    if step:
+        while sim.step():
+            pass
+    else:
+        sim.run()
+    return log, sim.now, sim.events_executed, sim.pending_events
+
+
+def test_same_seed_same_event_order(engine_mode):
+    a = _run_storm()
+    b = _run_storm()
+    assert a == b
+
+
+def test_run_vs_step_identical(engine_mode):
+    drained = _run_storm(step=False)
+    stepped = _run_storm(step=True)
+    assert drained == stepped
+
+
+def test_fast_vs_plain_identical():
+    results = []
+    for fast in (True, False):
+        sim = Simulator(seed=SEED, fast=fast)
+        log: list = []
+        _storm(sim, log)
+        sim.run()
+        results.append((log, sim.now, sim.events_executed, sim.pending_events))
+    assert results[0] == results[1]
+
+
+def _run_incast() -> tuple:
+    cl = Cluster.build(
+        n_nodes=5, topology="star", nic_type="rvma", fidelity="packet", seed=SEED
+    )
+    res = Incast(cl, RvmaProtocol(), msgs_per_client=3, msg_bytes=8 * 1024).run()
+    return res.messages, res.bytes_moved, res.elapsed, cl.sim.events_executed, cl.sim.now
+
+
+def test_motif_metrics_deterministic(engine_mode):
+    assert _run_incast() == _run_incast()
+
+
+def test_motif_identical_across_engine_modes():
+    import repro.sim.engine as engine
+
+    saved = engine.DEFAULT_FAST
+    try:
+        engine.DEFAULT_FAST = True
+        fast = _run_incast()
+        engine.DEFAULT_FAST = False
+        plain = _run_incast()
+    finally:
+        engine.DEFAULT_FAST = saved
+    assert fast == plain
+
+
+def test_trace_stream_deterministic(engine_mode):
+    """With tracing on, the recorded trace stream is identical per seed."""
+
+    def traced() -> list:
+        cl = Cluster.build(
+            n_nodes=5, topology="star", nic_type="rvma", fidelity="packet",
+            seed=SEED, trace=True,
+        )
+        Incast(cl, RvmaProtocol(), msgs_per_client=2, msg_bytes=4 * 1024).run()
+        return [
+            (e.time, e.category, e.message, tuple(sorted(e.fields.items())))
+            for e in cl.sim.tracer.entries
+        ]
+
+    first = traced()
+    assert first, "expected a non-empty trace"
+    assert first == traced()

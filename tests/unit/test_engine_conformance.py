@@ -1,0 +1,284 @@
+"""Scheduler conformance: the optimized engine vs the reference heap.
+
+Identical programs run on three implementations — the fast engine, the
+plain (pool/bucket-free) engine, and :class:`tests.helpers.ReferenceSimulator`
+(the pre-optimization engine kept verbatim as an oracle) — and must
+produce identical execution logs, timestamps, tie-breaking, counters
+and error behaviour.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import SimulationError
+
+from ..helpers import ReferenceSimulator
+
+SEED = 0xFACADE
+
+
+def _implementations():
+    return [
+        ("fast", lambda: Simulator(seed=SEED, fast=True)),
+        ("plain", lambda: Simulator(seed=SEED, fast=False)),
+        ("reference", lambda: ReferenceSimulator(seed=SEED)),
+    ]
+
+
+def _conform(program, **run_kwargs):
+    """Run *program(sim, log)* on all implementations; logs must agree."""
+    outcomes = {}
+    for name, factory in _implementations():
+        sim = factory()
+        log: list = []
+        program(sim, log)
+        end = sim.run(**run_kwargs)
+        outcomes[name] = (log, end, sim.now, sim.events_executed, sim.pending_events)
+    ref = outcomes.pop("reference")
+    for name, got in outcomes.items():
+        assert got == ref, f"{name} diverged from reference"
+    return ref
+
+
+def test_equal_time_ties_run_in_priority_then_insertion_order():
+    def program(sim, log):
+        sim.schedule(5.0, log.append, "n1")
+        sim.schedule(5.0, log.append, "high", priority=-10)
+        sim.schedule(5.0, log.append, "n2")
+        sim.schedule(5.0, log.append, "low", priority=10)
+        sim.schedule(2.0, log.append, "early")
+
+    (log, *_rest) = _conform(program)
+    assert log == ["early", "high", "n1", "n2", "low"]
+
+
+def test_kwargs_are_delivered():
+    def program(sim, log):
+        sim.schedule(1.0, lambda **kw: log.append(kw), a=1, b="x")
+
+    (log, *_rest) = _conform(program)
+    assert log == [{"a": 1, "b": "x"}]
+
+
+def test_cancel_before_due_time_suppresses_execution():
+    def program(sim, log):
+        ev = sim.schedule(3.0, log.append, "dead")
+        sim.schedule(1.0, log.append, "live")
+        ev.cancel()
+
+    (log, _end, _now, executed, pending) = _conform(program)
+    assert log == ["live"]
+    assert executed == 1
+    assert pending == 0
+
+
+def test_cancel_from_inside_an_earlier_event():
+    def program(sim, log):
+        ev = sim.schedule(5.0, log.append, "victim")
+        sim.schedule(2.0, lambda: (log.append("killer"), ev.cancel()))
+
+    (log, *_rest) = _conform(program)
+    assert log == ["killer"]
+
+
+def test_cancel_after_execution_is_a_noop():
+    def program(sim, log):
+        holder = {}
+
+        def fire():
+            log.append("fired")
+
+        holder["ev"] = sim.schedule(1.0, fire)
+        sim.schedule(2.0, lambda: holder["ev"].cancel())
+        sim.schedule(3.0, log.append, "late")
+
+    (log, _end, _now, executed, pending) = _conform(program)
+    assert log == ["fired", "late"]
+    assert pending == 0
+
+
+def test_double_cancel_counts_once():
+    def program(sim, log):
+        ev = sim.schedule(9.0, log.append, "never")
+        ev.cancel()
+        ev.cancel()
+        sim.schedule(1.0, log.append, "ok")
+
+    (log, _end, _now, _executed, pending) = _conform(program)
+    assert log == ["ok"]
+    assert pending == 0
+
+
+def test_until_window_advances_now_to_exactly_until():
+    def program(sim, log):
+        for t in (1.0, 4.0, 9.0):
+            sim.schedule(t, log.append, t)
+
+    (log, end, now, executed, pending) = _conform(program, until=5.0)
+    assert log == [1.0, 4.0]
+    assert end == now == 5.0
+    assert executed == 2
+    assert pending == 1
+
+
+def test_max_events_stops_after_n():
+    def program(sim, log):
+        for t in (1.0, 2.0, 3.0, 4.0):
+            sim.schedule(t, log.append, t)
+
+    (log, _end, now, executed, pending) = _conform(program, max_events=2)
+    assert log == [1.0, 2.0]
+    assert now == 2.0
+    assert executed == 2
+    assert pending == 2
+
+
+def test_reentrant_run_raises():
+    for name, factory in _implementations():
+        sim = factory()
+        errors: list = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError:
+                errors.append(name)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert errors == [name]
+
+
+def test_negative_delay_raises():
+    for _name, factory in _implementations():
+        sim = factory()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_in_past_raises():
+    for _name, factory in _implementations():
+        sim = factory()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+def test_events_scheduled_from_callbacks_interleave_identically():
+    def program(sim, log):
+        def parent(tag, depth):
+            log.append((sim.now, tag))
+            if depth:
+                sim.schedule(0.0, parent, f"{tag}.z", depth - 1)
+                sim.schedule(1.0, parent, f"{tag}.o", depth - 1)
+
+        sim.schedule(0.0, parent, "r", 3)
+
+    _conform(program)
+
+
+def test_seeded_random_program_conforms():
+    """A randomized schedule/cancel storm stays event-for-event equal."""
+
+    def program(sim, log):
+        rng = sim.rng.stream("conform")
+        pending: list = []
+
+        def fire(tag):
+            log.append((sim.now, tag))
+            k = int(rng.integers(0, 4))
+            d = float(int(rng.integers(0, 3)))
+            if k == 0 and len(log) < 300:
+                sim.schedule(d, fire, f"{tag}x")
+            elif k == 1 and len(log) < 300:
+                pending.append(sim.schedule(d + 1.0, fire, f"{tag}y"))
+            elif k == 2 and pending:
+                pending.pop().cancel()
+
+        for i in range(20):
+            sim.schedule(float(i % 5), fire, f"s{i}")
+
+    _conform(program)
+
+
+# --- fast-path APIs: post/post_batch vs their schedule() equivalents -------
+
+
+def test_post_matches_schedule_semantics():
+    """post() on both engine modes orders exactly like schedule()."""
+
+    def with_post(fast):
+        sim = Simulator(seed=SEED, fast=fast)
+        log: list = []
+        sim.post(2.0, log.append, "a")
+        sim.post(1.0, log.append, "b")
+        sim.post(2.0, log.append, "c")
+        sim.run()
+        return log, sim.now, sim.events_executed, sim.pending_events
+
+    ref = ReferenceSimulator(seed=SEED)
+    log: list = []
+    ref.schedule(2.0, log.append, "a")
+    ref.schedule(1.0, log.append, "b")
+    ref.schedule(2.0, log.append, "c")
+    ref.run()
+    expected = (log, ref.now, ref.events_executed, ref.pending_events)
+    assert with_post(True) == expected
+    assert with_post(False) == expected
+
+
+def test_post_batch_matches_individual_schedules():
+    def with_batches(fast):
+        sim = Simulator(seed=SEED, fast=fast)
+        log: list = []
+        sim.post_batch(3.0, [(log.append, ("b0",)), (log.append, ("b1",)), (log.append, ("b2",))])
+        sim.post(3.0, log.append, "single")  # later seq: runs after the batch
+        sim.post(1.0, log.append, "early")
+        sim.run()
+        return log, sim.now, sim.events_executed, sim.pending_events
+
+    ref = ReferenceSimulator(seed=SEED)
+    log: list = []
+    for tag in ("b0", "b1", "b2"):
+        ref.schedule(3.0, log.append, tag)
+    ref.schedule(3.0, log.append, "single")
+    ref.schedule(1.0, log.append, "early")
+    ref.run()
+    expected = (log, ref.now, ref.events_executed, ref.pending_events)
+    assert with_batches(True) == expected
+    assert with_batches(False) == expected
+
+
+def test_bucket_members_yield_to_interleaved_delay_zero_posts():
+    """A batch member that posts a delay-0 event at the same timestamp
+    must NOT let later batch members jump ahead of it (seq order)."""
+
+    def scenario(fast):
+        sim = Simulator(seed=SEED, fast=fast)
+        log: list = []
+
+        def first():
+            log.append("first")
+            sim.post(0.0, log.append, "injected")
+
+        sim.post_batch(5.0, [(first, ()), (log.append, ("second",)), (log.append, ("third",))])
+        sim.run()
+        return log
+
+    assert scenario(True) == scenario(False) == ["first", "second", "third", "injected"]
+
+
+def test_schedule_batch_cancellation_per_member():
+    def scenario(fast):
+        sim = Simulator(seed=SEED, fast=fast)
+        log: list = []
+        evs = sim.schedule_batch(4.0, [(log.append, (i,)) for i in range(5)])
+        evs[1].cancel()
+        evs[3].cancel()
+        sim.run()
+        return log, sim.pending_events
+
+    assert scenario(True) == scenario(False) == ([0, 2, 4], 0)

@@ -163,3 +163,69 @@ def test_identical_seeds_identical_schedules():
     t3, _ = build(43)
     assert t1 == t2 and now1 == now2
     assert t1 != t3  # different seed, different jitter ordering
+
+
+# --- cancellation garbage / heap compaction --------------------------------
+
+
+def test_cancelled_entries_do_not_leak_in_heap():
+    """Regression: lazy cancellation used to leave dead heap entries
+    forever; chaos-style timer churn (arm, then ACK-cancel) grew the
+    heap unboundedly.  Compaction must keep len(_heap) bounded by the
+    live population, not by the total number of timers ever armed."""
+    sim = Simulator(seed=7)
+    peak = 0
+    for _wave in range(200):
+        timers = [sim.schedule(1_000_000.0, lambda: None) for _ in range(100)]
+        for ev in timers:
+            ev.cancel()
+        peak = max(peak, len(sim._heap))
+    # 20,000 timers armed and cancelled; without compaction the heap
+    # would hold ~20,000 dead entries.
+    assert sim.pending_events == 0
+    assert peak < 2_000
+    assert len(sim._heap) < 200
+
+
+def test_compaction_preserves_survivors_and_order():
+    sim = Simulator(seed=7)
+    log = []
+    keep = []
+    for i in range(500):
+        ev = sim.schedule(float(1000 + i), log.append, i)
+        if i % 50 == 0:
+            keep.append(i)
+        else:
+            ev.cancel()
+    # Cancels above crossed the compaction threshold repeatedly.
+    assert sim.pending_events == len(keep)
+    sim.run()
+    assert log == keep
+
+
+def test_compaction_trims_cancelled_bucket_members():
+    sim = Simulator(seed=7)
+    log = []
+    for _wave in range(40):
+        evs = sim.schedule_batch(5_000.0, [(log.append, (i,)) for i in range(50)])
+        for ev in evs[1:]:
+            ev.cancel()
+    assert sim.pending_events == 40
+    assert len(sim._heap) < 200
+    sim.run()
+    assert log == [0] * 40
+
+
+def test_pending_events_is_exact_across_mixed_apis():
+    sim = Simulator(seed=7)
+    sim.post(1.0, lambda: None)
+    ev = sim.schedule(2.0, lambda: None)
+    sim.post_batch(3.0, [(lambda: None, ()), (lambda: None, ())])
+    evs = sim.schedule_batch(4.0, [(lambda: None, ()), (lambda: None, ())])
+    assert sim.pending_events == 6
+    ev.cancel()
+    evs[0].cancel()
+    assert sim.pending_events == 4
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_executed == 4
