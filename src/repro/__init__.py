@@ -40,6 +40,7 @@ from .motifs import AllreduceMotif, Halo3D, Incast, RdmaProtocol, RvmaProtocol, 
 from .observability import MetricsRegistry, RunReport, SpanTracer
 from .recovery import InvariantAuditor, RecoveryConfig, RecoveryManager
 from .reliability import FailureDetector, PeerFailed, ReliabilityConfig
+from .services import KvClient, KvServer, KvServerConfig, LoadGenerator, ShardMap, WorkloadConfig
 from .mpi import MpiRma, RankWindow, RewindUnsupportedError
 from .network import NetworkConfig, RoutingMode, make_topology
 from .rdma import CompletionMode, UcpEndpoint, VerbsEndpoint
@@ -59,6 +60,10 @@ __all__ = [
     "Halo3D",
     "Incast",
     "InvariantAuditor",
+    "KvClient",
+    "KvServer",
+    "KvServerConfig",
+    "LoadGenerator",
     "MetricsRegistry",
     "MpiRma",
     "NetworkConfig",
@@ -77,6 +82,7 @@ __all__ = [
     "RvmaApiError",
     "RvmaProtocol",
     "RvmaStatus",
+    "ShardMap",
     "Simulator",
     "SpanTracer",
     "StreamClient",
@@ -86,6 +92,7 @@ __all__ = [
     "UcpEndpoint",
     "VerbsEndpoint",
     "Window",
+    "WorkloadConfig",
     "__version__",
     "connect",
     "execute",

@@ -13,11 +13,25 @@ colliding.  A bare ``int`` destination keeps meaning "node, PID 0".
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 #: Bits of the mailbox space reserved for the PID prefix.
 PID_SHIFT = 48
 PID_MASK = 0xFFFF
+
+
+def stable_hash64(data: bytes | str) -> int:
+    """A stable 64-bit hash for mailbox selection (keys → shards).
+
+    Services that spread a keyspace across mailboxes need a hash that
+    is identical across processes and Python versions — ``hash()`` is
+    salted per interpreter, so this uses blake2b.  The result indexes
+    the mailbox space deterministically for any (key, shard count).
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
 
 
 @dataclass(frozen=True)

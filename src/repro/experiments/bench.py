@@ -320,6 +320,62 @@ def bench_allreduce(n_nodes: int, iterations: int, vector_len: int) -> BenchReco
     )
 
 
+def bench_kv_incast(
+    n_client_nodes: int, clients_per_node: int, n_ops: int, batch: int
+) -> BenchRecord:
+    """The KV serving incast: many clients, one server node, Zipf keys.
+
+    The serving-workload analog of the §I incast motif — continuous
+    request pressure on few receiver-managed shard streams.  The record
+    carries the client-observed ``service.kv.request_latency_ns``
+    p50/p99 lifted from the observability RunReport, so latency
+    regressions on the service path show in the trajectory alongside
+    events/sec.
+    """
+    from repro.experiments.kv_churn import run_kv_service
+    from repro.services import WorkloadConfig
+
+    t0 = time.perf_counter()
+    outcome = run_kv_service(
+        seed=BENCH_SEED,
+        n_server_nodes=1,
+        shards_per_node=2,
+        n_client_nodes=n_client_nodes,
+        clients_per_node=clients_per_node,
+        workload=WorkloadConfig(n_ops=n_ops, zipf_s=0.9, batch=batch),
+        chaos=False,
+        observe=True,
+    )
+    wall = time.perf_counter() - t0
+    metrics = {}
+    report = outcome.run_report
+    if report is not None:
+        service = report.metrics.get("service", {})
+        for name, value in service.items():
+            if isinstance(value, int):
+                metrics[name] = value
+        hist = service.get("service.kv.request_latency_ns")
+        if isinstance(hist, dict):
+            metrics["service.kv.request_latency_ns.p50"] = hist.get("p50")
+            metrics["service.kv.request_latency_ns.p99"] = hist.get("p99")
+    return BenchRecord(
+        name="kv-incast",
+        wall_s=wall,
+        events=None,
+        sim_ns=outcome.elapsed_ns,
+        peak_rss_kb=_peak_rss_kb(),
+        metrics=metrics,
+        extras={
+            "clients": n_client_nodes * clients_per_node,
+            "ops": outcome.ops_completed,
+            "p50_ns": outcome.p50_ns,
+            "p99_ns": outcome.p99_ns,
+            "reply_batch_mean": outcome.reply_batch_mean,
+            "invariants_ok": outcome.invariants_ok,
+        },
+    )
+
+
 def bench_chaos_crash(seed: int) -> BenchRecord:
     """One crash-restart chaos cell: motif + faults + recovery + audit.
 
@@ -366,6 +422,7 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
         ("incast", lambda: bench_incast(33, 8, 64 * 1024)),
         ("halo3d", lambda: bench_halo3d(64, 4, 16 * 1024)),
         ("allreduce", lambda: bench_allreduce(32, 6, 8)),
+        ("kv-incast", lambda: bench_kv_incast(8, 2, 640, 4)),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
     "smoke": [
@@ -374,6 +431,7 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
         ("incast", lambda: bench_incast(17, 4, 16 * 1024)),
         ("halo3d", lambda: bench_halo3d(27, 2, 4 * 1024)),
         ("allreduce", lambda: bench_allreduce(8, 3, 8)),
+        ("kv-incast", lambda: bench_kv_incast(4, 2, 160, 4)),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
 }

@@ -30,6 +30,7 @@ from .charts import chart_for_result
 from .fault_recovery import run_fault_recovery
 from .fig45 import run_fig4, run_fig5
 from .fig6 import run_fig6
+from .kv_churn import run_kv_churn
 from .motif_sweep import run_fig7, run_fig8
 from .report import ExperimentResult
 
@@ -74,6 +75,14 @@ def _chaos_crash_runner(args) -> ExperimentResult:
     )
 
 
+def _kv_churn_runner(args) -> ExperimentResult:
+    return run_kv_churn(
+        seeds=_seeds_of(args),
+        observe=bool(args.metrics_out),
+        trace=args.trace,
+    )
+
+
 RUNNERS: dict[str, Callable] = {
     "fig4": lambda args: run_fig4(),
     "fig5": lambda args: run_fig5(),
@@ -88,6 +97,7 @@ RUNNERS: dict[str, Callable] = {
     "ablation-pcie": lambda args: run_ablation_pcie(),
     "chaos": _chaos_runner,
     "chaos-crash": _chaos_crash_runner,
+    "kv-churn": _kv_churn_runner,
 }
 
 
@@ -100,6 +110,12 @@ def main(argv: list[str] | None = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "services":
+        # Same delegation pattern: the KV service driver owns its flags
+        # (`rvma-experiments services --mode open --zipf 1.1 ...`).
+        from .kv_churn import services_main
+
+        return services_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rvma-experiments",
         description="Regenerate the RVMA paper's tables and figures",

@@ -13,6 +13,7 @@ from .transfer import (
     RvmaProtocol,
     SendEndpoint,
     TransferProtocol,
+    UcxProtocol,
     mailbox_for,
 )
 
@@ -34,6 +35,7 @@ __all__ = [
     "SimBarrier",
     "Sweep3D",
     "TransferProtocol",
+    "UcxProtocol",
     "assign_targets",
     "face_tag",
     "mailbox_for",

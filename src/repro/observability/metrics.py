@@ -128,6 +128,16 @@ CATALOG: dict[str, MetricSpec] = {
         _c("fabric.packets_forwarded", "packets", "Packets forwarded by switches (packet-level fabric only)."),
         _c("fabric.packets_delivered", "packets", "Packets delivered to endpoint NICs (packet-level fabric only)."),
         _s("fabric.msg_latency_ns", "ns", "End-to-end fabric latency per delivered message."),
+        # --- service.kv: the sharded key-value service --------------------
+        _c("service.kv.requests", "ops", "KV requests decoded and executed by shard servers."),
+        _c("service.kv.replies", "ops", "KV replies delivered to client completion mailboxes."),
+        _c("service.kv.not_found", "ops", "GET/DELETE requests whose key was absent from the store."),
+        _c("service.kv.bytes_in", "bytes", "Request-frame bytes consumed from shard request streams."),
+        _c("service.kv.bytes_out", "bytes", "Reply-frame bytes put back to client completion mailboxes."),
+        _c("service.kv.flushes", "epochs", "Partial request chunks surfaced early via RVMA_Win_inc_epoch."),
+        _s("service.kv.reply_batch", "replies", "Replies coalesced into one put per (shard sweep, client)."),
+        _s("service.kv.shard_queue_depth", "requests", "Decoded requests waiting in a shard's queue per server sweep."),
+        _h("service.kv.request_latency_ns", "ns", "Client-observed KV request latency (issue to decoded reply)."),
         # --- faults: injected chaos -------------------------------------
         _c("faults.crashes", "crashes", "Crash faults injected by the fault injector."),
         _c("faults.restarts", "restarts", "Restart faults injected by the fault injector."),
@@ -340,4 +350,6 @@ class MetricsRegistry:
             "bins": list(h.bins),
             "underflow": h.underflow,
             "overflow": h.overflow,
+            "p50": h.percentile(0.50),
+            "p99": h.percentile(0.99),
         }

@@ -1,0 +1,58 @@
+"""Services layered on RVMA: the sharded key-value workload.
+
+The first subsystem in the repo where many initiators hammer few
+targets continuously — a serving workload, not an HPC motif.  The
+keyspace hashes onto per-node request mailboxes, requests flow over
+receiver-managed streams, replies batch back to per-client completion
+mailboxes, and backpressure rides the existing ``flow_room`` /
+``NO_BUFFER`` hold path of the reliability transport.
+"""
+
+from .kv import (
+    KvClient,
+    KvServer,
+    KvServerConfig,
+    ShardMap,
+    client_id_of,
+    node_of_client,
+)
+from .loadgen import LoadGenerator, LoadStats, WorkloadConfig, ZipfSampler
+from .wire import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_SCAN,
+    STATUS_ERROR,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    KvReply,
+    KvRequest,
+    ReplyDecoder,
+    RequestDecoder,
+    WireError,
+)
+
+__all__ = [
+    "KvClient",
+    "KvServer",
+    "KvServerConfig",
+    "ShardMap",
+    "client_id_of",
+    "node_of_client",
+    "LoadGenerator",
+    "LoadStats",
+    "WorkloadConfig",
+    "ZipfSampler",
+    "KvReply",
+    "KvRequest",
+    "ReplyDecoder",
+    "RequestDecoder",
+    "WireError",
+    "OP_GET",
+    "OP_PUT",
+    "OP_DELETE",
+    "OP_SCAN",
+    "STATUS_OK",
+    "STATUS_NOT_FOUND",
+    "STATUS_ERROR",
+]

@@ -1,0 +1,440 @@
+"""A sharded key-value service layered on RVMA primitives.
+
+The keyspace is hashed (``core.addressing.stable_hash64``) onto shards;
+each shard is one receiver-managed request mailbox on a server node
+(paper §IV-B streams), so *many initiators hammer few targets
+continuously* — the regime RVMA's receiver-side buffer management is
+built for.  Clients append whole request frames to the shard stream
+with plain ``RVMA_Put``; servers sweep their shards, decode, execute,
+and put *batched* reply frames back to per-client completion mailboxes
+(STEERED, one epoch per put, like any other RVMA response channel).
+
+Backpressure is not implemented here because it already exists: when a
+shard's bucket runs dry the NIC NACKs ``NO_BUFFER`` and — with the
+reliability transport enabled — the sender's transport holds the flow
+against ``flow_room`` until the server re-posts chunks.  Run the
+cluster with ``RvmaNicConfig(reliability=...)`` to get that hold path
+(and ordered whole-message dispatch into the managed stream).
+
+Client ids are self-describing: ``client_id = (node_id << 8) | index``,
+so a server can route the reply without any membership registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..core.addressing import stable_hash64
+from ..core.api import RvmaApi
+from ..core.receiver_managed import StreamClient, StreamServer
+from ..core.status import RvmaStatus
+from ..network.routing import RoutingMode
+from ..nic.lut import BufferMode, EpochType
+from ..sim.process import spawn
+from .wire import (
+    OP_DELETE,
+    OP_GET,
+    OP_NAMES,
+    OP_PUT,
+    OP_SCAN,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    KvReply,
+    KvRequest,
+    ReplyDecoder,
+    RequestDecoder,
+    decode_scan_payload,
+    encode_request,
+    encode_scan_payload,
+)
+
+#: Mailbox bases: shard request streams and per-client reply mailboxes
+#: live in disjoint slices of the 48-bit (PID-local) mailbox space.
+REQUEST_MAILBOX_BASE = 0x5E4B_0000
+REPLY_MAILBOX_BASE = 0x5EC7_0000
+
+#: ``service.kv.request_latency_ns`` binning: 500 ns resolution out to
+#: 400 µs; heavier tails land in the overflow bucket (percentile() then
+#: reports the upper edge).
+LATENCY_HI_NS = 400_000.0
+LATENCY_NBINS = 800
+
+
+def client_id_of(node_id: int, index: int) -> int:
+    """Self-describing client id (reply-routable without a registry)."""
+    if not 0 <= index < 256:
+        raise ValueError("client index must fit in 8 bits")
+    return (node_id << 8) | index
+
+
+def node_of_client(client_id: int) -> int:
+    return client_id >> 8
+
+
+class ShardMap:
+    """Hash → shard → (server node, request mailbox) placement.
+
+    Shards round-robin across the server nodes so consecutive shard ids
+    spread load; the mapping is pure arithmetic, identical on every
+    node, and needs no coordination — exactly the property mailbox
+    indirection buys over address-based RDMA placement.
+    """
+
+    def __init__(
+        self,
+        server_nodes: list[int],
+        shards_per_node: int = 1,
+        request_mailbox_base: int = REQUEST_MAILBOX_BASE,
+    ) -> None:
+        if not server_nodes:
+            raise ValueError("shard map requires at least one server node")
+        if shards_per_node < 1:
+            raise ValueError("shards_per_node must be >= 1")
+        self.server_nodes = list(server_nodes)
+        self.shards_per_node = shards_per_node
+        self.n_shards = len(server_nodes) * shards_per_node
+        self.request_mailbox_base = request_mailbox_base
+
+    def shard_of(self, key: bytes) -> int:
+        return stable_hash64(key) % self.n_shards
+
+    def node_of(self, shard: int) -> int:
+        return self.server_nodes[shard % len(self.server_nodes)]
+
+    def mailbox_of(self, shard: int) -> int:
+        return self.request_mailbox_base + shard
+
+    def locate(self, key: bytes) -> tuple[int, int, int]:
+        """(shard, server node, request mailbox) for *key*."""
+        shard = self.shard_of(key)
+        return shard, self.node_of(shard), self.mailbox_of(shard)
+
+    def shards_on(self, node_id: int) -> list[int]:
+        return [s for s in range(self.n_shards) if self.node_of(s) == node_id]
+
+
+@dataclass
+class KvServerConfig:
+    """Server-side stream and sweep tuning."""
+
+    #: Managed-stream chunk size per shard (== epoch byte threshold).
+    chunk_bytes: int = 4096
+    #: Chunks armed per shard bucket (receiver-side credit).
+    n_chunks: int = 4
+    #: Sweep interval when a shard is idle (partial chunks are flushed
+    #: via ``RVMA_Win_inc_epoch`` so small requests never stall).
+    poll_interval_ns: float = 2000.0
+    #: Max items returned per SCAN.
+    scan_limit: int = 64
+    reply_mailbox_base: int = REPLY_MAILBOX_BASE
+
+
+class KvServer:
+    """One node's shard servers: stream sweeps, stores, batched replies."""
+
+    def __init__(self, node, shard_map: ShardMap, config: Optional[KvServerConfig] = None) -> None:
+        self.node = node
+        self.api = RvmaApi(node)
+        self.map = shard_map
+        self.config = config or KvServerConfig()
+        self.shards = shard_map.shards_on(node.node_id)
+        #: shard → key/value store (plain dict; durability is out of scope).
+        self.stores: dict[int, dict[bytes, bytes]] = {s: {} for s in self.shards}
+        self.streams: dict[int, StreamServer] = {}
+        self._stopped = False
+        self._procs: list = []
+        stats = node.sim.stats
+        self._requests = stats.counter("service.kv.requests")
+        self._replies = stats.counter("service.kv.replies")
+        self._not_found = stats.counter("service.kv.not_found")
+        self._bytes_in = stats.counter("service.kv.bytes_in")
+        self._bytes_out = stats.counter("service.kv.bytes_out")
+        self._flushes = stats.counter("service.kv.flushes")
+        self._reply_batch = stats.summary("service.kv.reply_batch")
+        self._queue_depth = stats.summary("service.kv.shard_queue_depth")
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def start(self) -> "KvServer":
+        """Spawn one sweep process per local shard."""
+        for shard in self.shards:
+            self._procs.append(
+                spawn(self.node.sim, self._shard_loop(shard), name=f"kv-shard{shard}")
+            )
+        return self
+
+    def stop(self) -> None:
+        """Stop sweeping at the next idle wakeup (processes drain out)."""
+        self._stopped = True
+
+    @property
+    def finished(self) -> bool:
+        return all(p.finished for p in self._procs)
+
+    # ------------------------------------------------------------------ sweeping
+
+    def _stream_backlog(self, stream: StreamServer) -> int:
+        """Bytes sitting in the shard's *active* (unretired) chunk.
+
+        A host-side peek at the NIC's threshold counter — the same word
+        ``RVMA_Win_get_epoch`` reads — used to decide whether an early
+        flush would surface anything.
+        """
+        entry = self.api.nic.lut.entries.get(stream.win.virtual_addr)
+        if entry is None or entry.active is None:
+            return 0
+        return int(entry.active.counter)
+
+    def _shard_loop(self, shard: int) -> Generator:
+        cfg = self.config
+        stream = StreamServer(self.api, self.map.mailbox_of(shard), cfg.chunk_bytes, cfg.n_chunks)
+        self.streams[shard] = stream
+        yield from stream.open()
+        decoder = RequestDecoder()
+        store = self.stores[shard]
+        while not self._stopped:
+            if stream.poll_ready():
+                data = yield from stream.recv()
+            elif self._stream_backlog(stream) > 0:
+                # Small requests must not wait for a full chunk: hand the
+                # partial buffer to software now (paper's inc_epoch).
+                status = yield from stream.flush()
+                if status is not RvmaStatus.SUCCESS:
+                    yield cfg.poll_interval_ns
+                    continue
+                self._flushes.add()
+                data = yield from stream.recv()
+            else:
+                yield cfg.poll_interval_ns
+                continue
+            if not data:
+                continue
+            self._bytes_in.add(len(data))
+            requests = decoder.feed(data)
+            self._queue_depth.add(len(requests))
+            if not requests:
+                continue
+            yield from self._execute_batch(shard, store, requests)
+        yield from stream.close()
+
+    def _execute_batch(self, shard: int, store: dict, requests: list[KvRequest]) -> Generator:
+        spans = self.node.sim.spans
+        by_client: dict[int, list[bytes]] = {}
+        for req in requests:
+            sp = None
+            if spans.active and spans.wants("service"):
+                sp = spans.begin(
+                    "service", f"kv_{OP_NAMES[req.op]}", shard=shard, client=req.client_id
+                )
+            reply = self._execute(store, req)
+            if sp is not None:
+                spans.end(sp, status=reply.status)
+            self._requests.add()
+            by_client.setdefault(req.client_id, []).append(reply.encode())
+        # Batched replies: one put per client per sweep, however many of
+        # its requests this sweep decoded.
+        for client_id, frames in sorted(by_client.items()):
+            batch = b"".join(frames)
+            self._reply_batch.add(len(frames))
+            self._replies.add(len(frames))
+            self._bytes_out.add(len(batch))
+            op = yield from self.api.put(
+                node_of_client(client_id),
+                self.config.reply_mailbox_base + client_id,
+                data=batch,
+                mode=RoutingMode.STATIC,
+            )
+            yield op.local_done
+
+    def _execute(self, store: dict, req: KvRequest) -> KvReply:
+        if req.op == OP_PUT:
+            store[req.key] = req.value
+            return KvReply(STATUS_OK, req.req_id)
+        if req.op == OP_GET:
+            value = store.get(req.key)
+            if value is None:
+                self._not_found.add()
+                return KvReply(STATUS_NOT_FOUND, req.req_id)
+            return KvReply(STATUS_OK, req.req_id, value)
+        if req.op == OP_DELETE:
+            if store.pop(req.key, None) is None:
+                self._not_found.add()
+                return KvReply(STATUS_NOT_FOUND, req.req_id)
+            return KvReply(STATUS_OK, req.req_id)
+        # OP_SCAN: key is the prefix; bounded, sorted listing.
+        items = [
+            (k, v)
+            for k, v in sorted(store.items())
+            if k.startswith(req.key)
+        ][: self.config.scan_limit]
+        return KvReply(STATUS_OK, req.req_id, encode_scan_payload(items))
+
+
+class KvClient:
+    """Blocking client endpoint: request streams out, replies in.
+
+    One client = one completion mailbox (STEERED, epoch per put) plus a
+    cached :class:`StreamClient` per shard it has touched.  ``get`` /
+    ``put`` / ``delete`` / ``scan`` block for their reply;
+    :meth:`execute_batch` pipelines several frames in one stream put and
+    collects the (server-batched) replies, which is what the load
+    generator uses to drive reply batching.
+    """
+
+    def __init__(
+        self,
+        api: RvmaApi,
+        shard_map: ShardMap,
+        index: int = 0,
+        reply_mailbox_base: int = REPLY_MAILBOX_BASE,
+        reply_slots: int = 8,
+        max_reply_bytes: int = 8192,
+        max_put_bytes: int = 4096,
+        mode: RoutingMode = RoutingMode.STATIC,
+    ) -> None:
+        self.api = api
+        self.map = shard_map
+        self.mode = mode
+        #: Largest request put (liveness bound): a put bigger than the
+        #: shard's bucket can never acquire ``flow_room`` and the
+        #: transport would hold it forever, so batches are split to stay
+        #: within one server chunk (keep this <= KvServerConfig.chunk_bytes).
+        self.max_put_bytes = max_put_bytes
+        self.client_id = client_id_of(api.node.node_id, index)
+        self.reply_mailbox = reply_mailbox_base + self.client_id
+        self.reply_slots = reply_slots
+        self.max_reply_bytes = max_reply_bytes
+        self.reply_win = None
+        self._streams: dict[int, StreamClient] = {}
+        self._decoder = ReplyDecoder()
+        self._replies: dict[int, tuple[KvReply, float]] = {}
+        self._next_req = 0
+        self._latency = api.sim.stats.histogram(
+            "service.kv.request_latency_ns", lo=0.0, hi=LATENCY_HI_NS, nbins=LATENCY_NBINS
+        )
+
+    def open(self) -> Generator:
+        """Create the completion mailbox and arm its reply buffers."""
+        self.reply_win = yield from self.api.init_window(
+            self.reply_mailbox,
+            epoch_threshold=1,
+            epoch_type=EpochType.EPOCH_OPS,
+            mode=BufferMode.STEERED,
+        )
+        for _ in range(self.reply_slots):
+            yield from self.api.post_buffer(self.reply_win, size=self.max_reply_bytes)
+        return self
+
+    def _stream_to(self, shard: int) -> StreamClient:
+        stream = self._streams.get(shard)
+        if stream is None:
+            stream = self._streams[shard] = StreamClient(
+                self.api, self.map.node_of(shard), self.map.mailbox_of(shard), self.mode
+            )
+        return stream
+
+    # ------------------------------------------------------------------ requests
+
+    def execute_batch(
+        self, ops: list[tuple[int, bytes, bytes]], t0: Optional[float] = None
+    ) -> Generator:
+        """Issue *ops* (``(op, key, value)`` tuples) as pipelined frames.
+
+        Frames for the same shard travel in one stream put.  Returns the
+        replies in issue order.  *t0* overrides the latency-measurement
+        start (open-loop generators pass the intended arrival time so
+        queueing delay counts).
+        """
+        start = self.api.sim.now if t0 is None else t0
+        by_shard: dict[int, list[bytes]] = {}
+        req_ids: list[int] = []
+        for op, key, value in ops:
+            self._next_req += 1
+            req_id = self._next_req
+            req_ids.append(req_id)
+            frame = encode_request(op, self.client_id, req_id, key, value)
+            if len(frame) > self.max_put_bytes:
+                raise ValueError(
+                    f"request frame of {len(frame)}B exceeds max_put_bytes="
+                    f"{self.max_put_bytes} (would hold forever against flow_room)"
+                )
+            by_shard.setdefault(self.map.shard_of(key), []).append(frame)
+        for shard in sorted(by_shard):
+            for chunk in self._pack(by_shard[shard]):
+                put_op = yield from self._stream_to(shard).send(chunk)
+                yield put_op.local_done
+        replies = []
+        for req_id in req_ids:
+            reply, seen_at = yield from self._await_reply(req_id)
+            self._latency.add(seen_at - start)
+            replies.append(reply)
+        return replies
+
+    def _pack(self, frames: list[bytes]) -> list[bytes]:
+        """Greedily coalesce whole frames into puts of <= max_put_bytes."""
+        puts: list[bytes] = []
+        cur: list[bytes] = []
+        size = 0
+        for frame in frames:
+            if cur and size + len(frame) > self.max_put_bytes:
+                puts.append(b"".join(cur))
+                cur, size = [], 0
+            cur.append(frame)
+            size += len(frame)
+        if cur:
+            puts.append(b"".join(cur))
+        return puts
+
+    def _await_reply(self, req_id: int) -> Generator:
+        while req_id not in self._replies:
+            info = yield from self.api.wait_completion(self.reply_win)
+            data = info.read_data()
+            yield from self.api.post_buffer(self.reply_win, buffer=info.record.buffer)
+            now = self.api.sim.now
+            for reply in self._decoder.feed(data):
+                self._replies[reply.req_id] = (reply, now)
+        return self._replies.pop(req_id)
+
+    def _one(self, op: int, key: bytes, value: bytes = b"") -> Generator:
+        replies = yield from self.execute_batch([(op, key, value)])
+        return replies[0]
+
+    def put(self, key: bytes, value: bytes) -> Generator:
+        """Store *value* under *key*; returns the reply status."""
+        reply = yield from self._one(OP_PUT, key, value)
+        return reply.status
+
+    def get(self, key: bytes) -> Generator:
+        """Fetch *key*; returns ``(status, value)``."""
+        reply = yield from self._one(OP_GET, key)
+        return reply.status, reply.payload
+
+    def delete(self, key: bytes) -> Generator:
+        """Remove *key*; returns the reply status."""
+        reply = yield from self._one(OP_DELETE, key)
+        return reply.status
+
+    def scan(self, prefix: bytes) -> Generator:
+        """List stored ``(key, value)`` pairs under *prefix*.
+
+        Keys hash across shards, so a prefix scan is scatter-gather: one
+        SCAN frame to every shard, merged sorted on the client.  Each
+        shard's contribution is bounded by the server's ``scan_limit``.
+        """
+        start = self.api.sim.now
+        req_ids: list[int] = []
+        for shard in range(self.map.n_shards):
+            self._next_req += 1
+            req_ids.append(self._next_req)
+            frame = encode_request(OP_SCAN, self.client_id, self._next_req, prefix)
+            put_op = yield from self._stream_to(shard).send(frame)
+            yield put_op.local_done
+        items: list[tuple[bytes, bytes]] = []
+        last_seen = start
+        for req_id in req_ids:
+            reply, seen_at = yield from self._await_reply(req_id)
+            last_seen = max(last_seen, seen_at)
+            items.extend(decode_scan_payload(reply.payload))
+        self._latency.add(last_seen - start)
+        return sorted(items)

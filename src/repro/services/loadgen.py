@@ -1,0 +1,204 @@
+"""Open/closed-loop load generation for the KV service.
+
+Arrivals, op mix and key popularity all draw from *named* RNG streams
+(:mod:`repro.sim.rng`), so a workload is a pure function of the
+simulator seed — the property every differential and regression test
+here relies on.
+
+Key popularity follows a Zipf(s) distribution over a fixed keyspace
+(``s = 0`` degenerates to uniform).  Keys hash to shards via
+``stable_hash64``, so hot keys land on effectively random shards and
+skew shows up as per-shard load imbalance, the way it does in
+production key-value fleets.
+
+Two driving modes:
+
+* **closed** — each client keeps ``batch`` requests in flight
+  back-to-back: throughput-bound, exercises server-side reply batching;
+* **open** — requests arrive by an exponential arrival process
+  independent of service times and queue for a free client; latency is
+  measured from the *intended arrival*, so queueing delay counts (the
+  honest way to measure a service under offered load).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..sim.process import AllOf, spawn
+from .kv import KvClient
+from .wire import OP_DELETE, OP_GET, OP_PUT, STATUS_OK
+
+
+class ZipfSampler:
+    """Zipf(s) over ``n_keys`` ranks via inverse-CDF table lookup."""
+
+    def __init__(self, n_keys: int, s: float = 0.0) -> None:
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        if s < 0:
+            raise ValueError("zipf skew must be >= 0")
+        self.n_keys = n_keys
+        self.s = s
+        weights = [1.0 / (rank ** s) for rank in range(1, n_keys + 1)]
+        total = sum(weights)
+        cum = 0.0
+        self._cdf: list[float] = []
+        for w in weights:
+            cum += w / total
+            self._cdf.append(cum)
+        self._cdf[-1] = 1.0  # guard float drift
+
+    def sample(self, u: float) -> int:
+        """Rank (0-based key index) for a uniform draw ``u in [0, 1)``."""
+        return bisect_left(self._cdf, u)
+
+
+@dataclass
+class WorkloadConfig:
+    """One KV workload's shape."""
+
+    n_ops: int = 200
+    n_keys: int = 128
+    value_bytes: int = 64
+    #: Zipf skew (0 = uniform key popularity).
+    zipf_s: float = 0.0
+    #: Op mix; the remainder after get+put is split delete-heavy.
+    get_frac: float = 0.55
+    put_frac: float = 0.40
+    #: ``closed`` or ``open``.
+    mode: str = "closed"
+    #: Requests pipelined per closed-loop issue (drives reply batching).
+    batch: int = 1
+    #: Mean exponential interarrival for open-loop mode.
+    mean_interarrival_ns: float = 4000.0
+    #: Idle-client poll interval for the open-loop work queue.
+    worker_poll_ns: float = 500.0
+    rng_stream: str = "kv-load"
+
+
+@dataclass
+class LoadStats:
+    """What one workload run issued and observed."""
+
+    ops_issued: int = 0
+    ops_completed: int = 0
+    ops_failed: int = 0
+    by_op: dict = field(default_factory=dict)
+
+    def note(self, op: int, ok: bool) -> None:
+        self.by_op[op] = self.by_op.get(op, 0) + 1
+        self.ops_completed += 1
+        if not ok:
+            self.ops_failed += 1
+
+
+class LoadGenerator:
+    """Drives a pool of :class:`KvClient` endpoints through a workload.
+
+    Latencies land in the shared ``service.kv.request_latency_ns``
+    histogram (clients record them); this class owns arrival timing,
+    op/key sampling and pool scheduling.
+    """
+
+    def __init__(self, sim, clients: list[KvClient], config: Optional[WorkloadConfig] = None) -> None:
+        if not clients:
+            raise ValueError("load generator needs at least one client")
+        self.sim = sim
+        self.clients = clients
+        self.config = config or WorkloadConfig()
+        self.stats = LoadStats()
+        self.sampler = ZipfSampler(self.config.n_keys, self.config.zipf_s)
+        self._seq = 0
+
+    # ------------------------------------------------------------------ sampling
+
+    def key_bytes(self, rank: int) -> bytes:
+        return b"k%06d" % rank
+
+    def _sample_op(self) -> tuple[int, bytes, bytes]:
+        cfg = self.config
+        rng = self.sim.rng
+        u_op = rng.random(cfg.rng_stream + ".op")
+        rank = self.sampler.sample(rng.random(cfg.rng_stream + ".key"))
+        key = self.key_bytes(rank)
+        self._seq += 1
+        if u_op < cfg.get_frac:
+            return OP_GET, key, b""
+        if u_op < cfg.get_frac + cfg.put_frac:
+            # Deterministic, self-describing value bytes: checkable by
+            # tests and unique-ish per (key, issue sequence).
+            fill = (rank * 131 + self._seq) % 251 + 1
+            value = bytes([fill]) * cfg.value_bytes
+            return OP_PUT, key, value
+        return OP_DELETE, key, b""
+
+    def _interarrival(self) -> float:
+        u = self.sim.rng.random(self.config.rng_stream + ".arrival")
+        # Inverse-CDF exponential; clamp u away from 0 to bound the tail.
+        return -self.config.mean_interarrival_ns * math.log(max(u, 1e-12))
+
+    # ------------------------------------------------------------------ driving
+
+    def run(self) -> Generator:
+        """Drive the configured workload to completion; returns stats."""
+        if self.config.mode == "closed":
+            yield from self._run_closed()
+        elif self.config.mode == "open":
+            yield from self._run_open()
+        else:
+            raise ValueError(f"unknown load mode {self.config.mode!r}")
+        return self.stats
+
+    def _run_closed(self) -> Generator:
+        cfg = self.config
+        share, extra = divmod(cfg.n_ops, len(self.clients))
+        procs = []
+        for i, client in enumerate(self.clients):
+            quota = share + (1 if i < extra else 0)
+            if quota:
+                procs.append(
+                    spawn(self.sim, self._closed_worker(client, quota), name=f"kv-load{i}")
+                )
+        if procs:
+            yield AllOf([p.done_future for p in procs])
+
+    def _closed_worker(self, client: KvClient, quota: int) -> Generator:
+        left = quota
+        while left > 0:
+            batch = [self._sample_op() for _ in range(min(self.config.batch, left))]
+            self.stats.ops_issued += len(batch)
+            replies = yield from client.execute_batch(batch)
+            for (op, _k, _v), reply in zip(batch, replies):
+                self.stats.note(op, reply.status == STATUS_OK or op != OP_PUT)
+            left -= len(batch)
+
+    def _run_open(self) -> Generator:
+        cfg = self.config
+        backlog: deque = deque()
+        done = [False]
+        workers = [
+            spawn(self.sim, self._open_worker(client, backlog, done), name=f"kv-open{i}")
+            for i, client in enumerate(self.clients)
+        ]
+        for _ in range(cfg.n_ops):
+            yield self._interarrival()
+            backlog.append((self._sample_op(), self.sim.now))
+            self.stats.ops_issued += 1
+        done[0] = True
+        yield AllOf([w.done_future for w in workers])
+
+    def _open_worker(self, client: KvClient, backlog: deque, done: list) -> Generator:
+        while True:
+            if backlog:
+                (op, key, value), arrived = backlog.popleft()
+                replies = yield from client.execute_batch([(op, key, value)], t0=arrived)
+                self.stats.note(op, replies[0].status == STATUS_OK or op != OP_PUT)
+            elif done[0]:
+                return
+            else:
+                yield self.config.worker_poll_ns

@@ -1,0 +1,166 @@
+"""Wire format for the sharded KV service.
+
+Requests travel over receiver-managed byte streams (paper §IV-B), so
+they are *framed*: the stream hands the server arbitrary chunk
+boundaries and the decoder must reassemble frames that straddle them.
+Replies travel as whole puts to a client's completion mailbox, but a
+batched reply put carries several frames back-to-back, so the same
+decoder discipline applies on the client side.
+
+Frames are little-endian structs:
+
+* request — ``op:u8 | client:u32 | req:u32 | key_len:u16 | val_len:u32``
+  followed by ``key`` then ``value`` bytes;
+* reply — ``status:u8 | req:u32 | payload_len:u32`` followed by the
+  payload (the stored value for GET, a key/value listing for SCAN).
+
+A client put always carries a whole number of request frames, and the
+reliability transport dispatches each put as a unit into the managed
+stream, so frames from different clients never interleave mid-frame.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+OP_GET = 1
+OP_PUT = 2
+OP_DELETE = 3
+OP_SCAN = 4
+
+OP_NAMES = {OP_GET: "get", OP_PUT: "put", OP_DELETE: "delete", OP_SCAN: "scan"}
+
+STATUS_OK = 0
+STATUS_NOT_FOUND = 1
+STATUS_ERROR = 2
+
+_REQ_HEADER = struct.Struct("<BIIHI")
+_REPLY_HEADER = struct.Struct("<BII")
+_SCAN_ITEM = struct.Struct("<HI")
+
+REQ_HEADER_BYTES = _REQ_HEADER.size
+REPLY_HEADER_BYTES = _REPLY_HEADER.size
+
+
+class WireError(ValueError):
+    """A frame violated the wire format (corrupt or truncated header)."""
+
+
+@dataclass(frozen=True)
+class KvRequest:
+    """One decoded request frame."""
+
+    op: int
+    client_id: int
+    req_id: int
+    key: bytes
+    value: bytes = b""
+
+    def encode(self) -> bytes:
+        return encode_request(self.op, self.client_id, self.req_id, self.key, self.value)
+
+
+@dataclass(frozen=True)
+class KvReply:
+    """One decoded reply frame."""
+
+    status: int
+    req_id: int
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        return encode_reply(self.status, self.req_id, self.payload)
+
+
+def encode_request(op: int, client_id: int, req_id: int, key: bytes, value: bytes = b"") -> bytes:
+    if op not in OP_NAMES:
+        raise WireError(f"unknown op code {op}")
+    if len(key) > 0xFFFF:
+        raise WireError(f"key of {len(key)}B exceeds the u16 length field")
+    return _REQ_HEADER.pack(op, client_id, req_id, len(key), len(value)) + key + value
+
+
+def encode_reply(status: int, req_id: int, payload: bytes = b"") -> bytes:
+    return _REPLY_HEADER.pack(status, req_id, len(payload)) + payload
+
+
+def encode_scan_payload(items: list[tuple[bytes, bytes]]) -> bytes:
+    """SCAN reply payload: repeated (key_len, val_len, key, value)."""
+    parts = []
+    for key, value in items:
+        parts.append(_SCAN_ITEM.pack(len(key), len(value)))
+        parts.append(key)
+        parts.append(value)
+    return b"".join(parts)
+
+
+def decode_scan_payload(payload: bytes) -> list[tuple[bytes, bytes]]:
+    items: list[tuple[bytes, bytes]] = []
+    off = 0
+    while off < len(payload):
+        if off + _SCAN_ITEM.size > len(payload):
+            raise WireError("truncated scan item header")
+        key_len, val_len = _SCAN_ITEM.unpack_from(payload, off)
+        off += _SCAN_ITEM.size
+        if off + key_len + val_len > len(payload):
+            raise WireError("truncated scan item body")
+        items.append((payload[off : off + key_len], payload[off + key_len : off + key_len + val_len]))
+        off += key_len + val_len
+    return items
+
+
+class _FrameDecoder:
+    """Accumulates stream bytes and yields complete frames."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self.bytes_fed = 0
+
+    def feed_bytes(self, data: bytes) -> None:
+        self._buf.extend(data)
+        self.bytes_fed += len(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buf)
+
+
+class RequestDecoder(_FrameDecoder):
+    """Reassembles :class:`KvRequest` frames from stream chunks."""
+
+    def feed(self, data: bytes) -> list[KvRequest]:
+        self.feed_bytes(data)
+        out: list[KvRequest] = []
+        buf = self._buf
+        while len(buf) >= REQ_HEADER_BYTES:
+            op, client_id, req_id, key_len, val_len = _REQ_HEADER.unpack_from(buf)
+            total = REQ_HEADER_BYTES + key_len + val_len
+            if len(buf) < total:
+                break
+            if op not in OP_NAMES:
+                raise WireError(f"unknown op code {op} in request stream")
+            key = bytes(buf[REQ_HEADER_BYTES : REQ_HEADER_BYTES + key_len])
+            value = bytes(buf[REQ_HEADER_BYTES + key_len : total])
+            del buf[:total]
+            out.append(KvRequest(op, client_id, req_id, key, value))
+        return out
+
+
+class ReplyDecoder(_FrameDecoder):
+    """Reassembles :class:`KvReply` frames from reply puts."""
+
+    def feed(self, data: bytes) -> list[KvReply]:
+        self.feed_bytes(data)
+        out: list[KvReply] = []
+        buf = self._buf
+        while len(buf) >= REPLY_HEADER_BYTES:
+            status, req_id, payload_len = _REPLY_HEADER.unpack_from(buf)
+            total = REPLY_HEADER_BYTES + payload_len
+            if len(buf) < total:
+                break
+            payload = bytes(buf[REPLY_HEADER_BYTES : total])
+            del buf[:total]
+            out.append(KvReply(status, req_id, payload))
+        return out

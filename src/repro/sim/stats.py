@@ -124,6 +124,29 @@ class Histogram:
     def bin_edges(self) -> list[float]:
         return [self.lo + i * self.width for i in range(self.nbins + 1)]
 
+    def percentile(self, q: float) -> float:
+        """Approximate *q*-quantile (``0 <= q <= 1``) of the samples.
+
+        Linear interpolation within the fixed-width bins; the underflow
+        mass is pinned at ``lo`` and the overflow mass at ``hi`` (the
+        histogram does not retain where out-of-range samples fell).
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = self.underflow
+        if target <= cum:
+            return self.lo
+        for i, n in enumerate(self.bins):
+            if n and target <= cum + n:
+                frac = (target - cum) / n
+                return self.lo + (i + frac) * self.width
+            cum += n
+        return self.hi
+
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold *other* into this histogram.  Both must share the exact
         same binning — histograms with different shapes measure

@@ -74,6 +74,13 @@ def test_mpi_rma_stencil_example():
     assert "fenced epochs + rollback" in out
 
 
+def test_kv_service_example():
+    out = _run("kv_service.py", "--ops", "128")
+    assert "p50" in out and "p99" in out
+    assert "completed 128/128 ops" in out
+    assert "invariants ok=True" in out
+
+
 def test_socket_echo_server_example():
     out = _run("socket_echo_server.py")
     assert out.count("accepted node") == 3

@@ -1,0 +1,177 @@
+"""Unit tests for the KV service building blocks (no simulator).
+
+Wire framing, shard placement, client addressing, the Zipf sampler and
+the histogram quantile estimator the service reports through.
+"""
+
+import pytest
+
+from repro.core.addressing import stable_hash64
+from repro.services import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    OP_SCAN,
+    KvReply,
+    KvRequest,
+    ReplyDecoder,
+    RequestDecoder,
+    ShardMap,
+    WireError,
+    ZipfSampler,
+    client_id_of,
+    node_of_client,
+)
+from repro.services.wire import (
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    decode_scan_payload,
+    encode_reply,
+    encode_request,
+    encode_scan_payload,
+)
+from repro.sim.stats import Histogram
+
+
+# ------------------------------------------------------------------ wire format
+
+
+def test_request_roundtrip():
+    frame = encode_request(OP_PUT, client_id=0x0302, req_id=7, key=b"k1", value=b"hello")
+    (req,) = RequestDecoder().feed(frame)
+    assert req == KvRequest(OP_PUT, 0x0302, 7, b"k1", b"hello")
+    assert req.encode() == frame
+
+
+def test_reply_roundtrip():
+    frame = encode_reply(STATUS_OK, req_id=9, payload=b"world")
+    (rep,) = ReplyDecoder().feed(frame)
+    assert rep == KvReply(STATUS_OK, 9, b"world")
+    assert rep.encode() == frame
+
+
+def test_request_decoder_reassembles_across_arbitrary_chunk_boundaries():
+    frames = [
+        encode_request(OP_PUT, 1, 1, b"alpha", b"A" * 37),
+        encode_request(OP_GET, 1, 2, b"beta"),
+        encode_request(OP_DELETE, 2, 3, b"gamma"),
+        encode_request(OP_SCAN, 2, 4, b"ga"),
+    ]
+    stream = b"".join(frames)
+    # Feed one byte at a time: worst-case chunking a receiver-managed
+    # stream could produce.
+    dec = RequestDecoder()
+    got = []
+    for i in range(len(stream)):
+        got.extend(dec.feed(stream[i : i + 1]))
+    assert [r.encode() for r in got] == frames
+    assert dec.pending_bytes == 0
+    assert dec.bytes_fed == len(stream)
+
+
+def test_reply_decoder_handles_batched_puts():
+    frames = [encode_reply(STATUS_OK, i, bytes([i]) * i) for i in range(1, 6)]
+    blob = b"".join(frames)
+    dec = ReplyDecoder()
+    # Split mid-header of the third frame.
+    cut = len(frames[0]) + len(frames[1]) + 2
+    first = dec.feed(blob[:cut])
+    rest = dec.feed(blob[cut:])
+    assert [r.req_id for r in first + rest] == [1, 2, 3, 4, 5]
+    assert dec.pending_bytes == 0
+
+
+def test_wire_rejects_bad_frames():
+    with pytest.raises(WireError):
+        encode_request(99, 0, 0, b"k")
+    with pytest.raises(WireError):
+        encode_request(OP_PUT, 0, 0, b"k" * 0x10001)
+    dec = RequestDecoder()
+    with pytest.raises(WireError):
+        dec.feed(bytes([99]) + b"\x00" * 14)  # complete header, bogus op
+
+
+def test_scan_payload_roundtrip():
+    items = [(b"k1", b"v1"), (b"k22", b""), (b"", b"v333")]
+    assert decode_scan_payload(encode_scan_payload(items)) == items
+    with pytest.raises(WireError):
+        decode_scan_payload(encode_scan_payload(items)[:-1])
+
+
+# -------------------------------------------------------------- shard placement
+
+
+def test_stable_hash64_is_deterministic_and_wide():
+    assert stable_hash64(b"key") == stable_hash64("key")
+    assert stable_hash64(b"key") != stable_hash64(b"key2")
+    assert 0 <= stable_hash64(b"key") < 2**64
+
+
+def test_shard_map_covers_all_nodes_round_robin():
+    m = ShardMap([0, 1, 2], shards_per_node=2)
+    assert m.n_shards == 6
+    assert [m.node_of(s) for s in range(6)] == [0, 1, 2, 0, 1, 2]
+    assert m.shards_on(1) == [1, 4]
+    # Every shard gets a distinct mailbox.
+    assert len({m.mailbox_of(s) for s in range(6)}) == 6
+
+
+def test_shard_map_routes_deterministically_and_spreads_keys():
+    m = ShardMap([0, 1, 2, 3], shards_per_node=2)
+    keys = [b"k%04d" % i for i in range(512)]
+    first = [m.shard_of(k) for k in keys]
+    assert first == [m.shard_of(k) for k in keys]
+    hit = {m.locate(k)[1] for k in keys}  # locate -> (shard, node, mailbox)
+    assert hit == {0, 1, 2, 3}
+    counts = [first.count(s) for s in range(m.n_shards)]
+    # blake2b spreads 512 keys over 8 shards without gross imbalance.
+    assert min(counts) > 0 and max(counts) < 512 // 2
+
+
+def test_client_id_roundtrip():
+    cid = client_id_of(node_id=5, index=7)
+    assert node_of_client(cid) == 5
+    assert cid & 0xFF == 7
+    with pytest.raises(ValueError):
+        client_id_of(0, 256)
+
+
+# -------------------------------------------------------------------- zipf/load
+
+
+def test_zipf_uniform_when_s_zero():
+    z = ZipfSampler(10, 0.0)
+    ranks = [z.sample(u / 100.0) for u in range(100)]
+    assert min(ranks) == 0 and max(ranks) == 9
+    # Each decile maps to its own rank under s=0.
+    assert ranks.count(0) == pytest.approx(10, abs=1)
+
+
+def test_zipf_skews_toward_low_ranks():
+    z = ZipfSampler(100, 1.2)
+    ranks = [z.sample(u / 1000.0) for u in range(1000)]
+    assert ranks.count(0) > 200  # head rank dominates
+    assert all(0 <= r < 100 for r in ranks)
+
+
+# ------------------------------------------------------------------- percentile
+
+
+def test_histogram_percentile_interpolates():
+    h = Histogram("t", lo=0.0, hi=100.0, nbins=10)
+    for x in range(100):
+        h.add(float(x))
+    assert h.percentile(0.5) == pytest.approx(50.0, abs=h.width)
+    assert h.percentile(0.99) == pytest.approx(99.0, abs=h.width)
+    assert h.percentile(0.0) <= h.percentile(1.0)
+
+
+def test_histogram_percentile_edges():
+    h = Histogram("t", lo=0.0, hi=10.0, nbins=10)
+    assert h.percentile(0.5) == 0.0  # empty
+    h.add(-5.0)   # underflow
+    h.add(500.0)  # overflow
+    assert h.percentile(0.25) == h.lo
+    assert h.percentile(1.0) == h.hi
+    with pytest.raises(ValueError):
+        h.percentile(1.5)
