@@ -361,7 +361,7 @@ def bench_kv_incast(
     return BenchRecord(
         name="kv-incast",
         wall_s=wall,
-        events=None,
+        events=outcome.events_executed,
         sim_ns=outcome.elapsed_ns,
         peak_rss_kb=_peak_rss_kb(),
         metrics=metrics,

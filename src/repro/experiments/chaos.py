@@ -41,6 +41,8 @@ from ..motifs.base import Motif, MotifResult
 from ..motifs.halo3d import Halo3D
 from ..motifs.incast import Incast
 from ..motifs.transfer import RvmaProtocol
+from ..network.config import NetworkConfig
+from ..network.routing import RoutingMode
 from ..nic.rvma import RvmaNicConfig
 from ..observability import RunReport
 from ..recovery.auditor import InvariantAuditor
@@ -66,14 +68,25 @@ DEFAULT_EVENTS = 4
 DEFAULT_MAX_WINDOW_NS = 50_000.0
 
 
-def _build_motif(name: str, cluster: Cluster) -> Motif:
+#: Default motif shapes for the chaos sweeps (the scenario fuzzer
+#: overrides these per scenario via ``motif_params``).
+DEFAULT_MOTIF_PARAMS = {
+    "allreduce": {"iterations": 4, "vector_len": 4},
+    "incast": {"msgs_per_client": 3, "msg_bytes": 2048},
+    "halo3d": {"iterations": 2, "msg_bytes": 4096},
+}
+
+
+def _build_motif(name: str, cluster: Cluster, params: Optional[dict] = None) -> Motif:
     proto = RvmaProtocol()
+    kw = dict(DEFAULT_MOTIF_PARAMS.get(name, {}))
+    kw.update(params or {})
     if name == "allreduce":
-        return AllreduceMotif(cluster, proto, iterations=4, vector_len=4)
+        return AllreduceMotif(cluster, proto, **kw)
     if name == "incast":
-        return Incast(cluster, proto, msgs_per_client=3, msg_bytes=2048)
+        return Incast(cluster, proto, **kw)
     if name == "halo3d":
-        return Halo3D(cluster, proto, iterations=2, msg_bytes=4096)
+        return Halo3D(cluster, proto, **kw)
     raise ValueError(f"unknown chaos motif {name!r}")
 
 
@@ -197,6 +210,10 @@ def run_motif_under_chaos(
     recovery_config: Optional[RecoveryConfig] = None,
     observe: bool = False,
     trace: bool = False,
+    schedule: Optional[ChaosSchedule] = None,
+    routing: Optional[RoutingMode] = None,
+    motif_params: Optional[dict] = None,
+    scenario_meta: Optional[dict] = None,
 ) -> ChaosOutcome:
     """Run one motif under a generated chaos schedule and audit it.
 
@@ -218,13 +235,20 @@ def run_motif_under_chaos(
     :class:`repro.observability.RunReport` in ``ChaosOutcome.run_report``;
     ``trace=True`` additionally enables span recording in every category
     (the report then carries per-category rollups and hottest spans).
+
+    The scenario fuzzer (:mod:`repro.scenarios`) drives this entry
+    point with a fully pinned plan: ``schedule`` replaces the generated
+    one, ``routing``/``motif_params`` pin the network mode and workload
+    shape, and ``scenario_meta`` stamps ``scenario.*`` counters plus a
+    ``scenario`` span so campaign reports can attribute the run.
     """
     nic_config = RvmaNicConfig(
         reliability=(reliability_config or CHAOS_RELIABILITY) if reliability else None
     )
+    net_config = NetworkConfig(routing=routing) if routing is not None else None
     cluster = Cluster.build(
         n_nodes=n_nodes, topology=topology, nic_type="rvma", fidelity="flow",
-        seed=seed, nic_config=nic_config,
+        seed=seed, nic_config=nic_config, net_config=net_config,
     )
     if audit is None:
         audit = n_crashes > 0
@@ -237,16 +261,29 @@ def run_motif_under_chaos(
             recovery_config or RecoveryConfig(horizon_ns=horizon_ns),
         ).start()
         manager.arm(injector)
-    schedule = ChaosSchedule.generate(
-        cluster, horizon_ns=horizon_ns, n_events=n_events,
-        max_window_ns=max_window_ns, drop_prob=drop_prob, n_crashes=n_crashes,
-    )
+    if schedule is None:
+        schedule = ChaosSchedule.generate(
+            cluster, horizon_ns=horizon_ns, n_events=n_events,
+            max_window_ns=max_window_ns, drop_prob=drop_prob, n_crashes=n_crashes,
+        )
     schedule.apply(injector)
     if configure is not None:
         configure(injector)
-    motif = _build_motif(motif_name, cluster)
+    motif = _build_motif(motif_name, cluster, motif_params)
     if observe and trace:
         cluster.sim.spans.enable()
+    scenario_span = None
+    if scenario_meta is not None:
+        stats = cluster.sim.stats
+        stats.counter("scenario.runs").add()
+        stats.counter("scenario.faults_scheduled").add(len(schedule.events))
+        stats.counter("scenario.workload_ops").add(
+            int(scenario_meta.get("workload_ops", 0))
+        )
+        scenario_span = cluster.sim.spans.begin(
+            "scenario", scenario_meta.get("workload", motif_name),
+            id=scenario_meta.get("id", ""),
+        )
 
     error: Optional[str] = None
     result: Optional[MotifResult] = None
@@ -256,6 +293,8 @@ def run_motif_under_chaos(
     except RuntimeError as exc:  # deadlocked ranks or data-loss indicators
         error = str(exc)
     cluster.sim.spans.end(run_span, completed=error is None)
+    if scenario_span is not None:
+        cluster.sim.spans.end(scenario_span, completed=error is None)
 
     counters = cluster.sim.stats.counters()
     fingerprint = _state_fingerprint if n_crashes > 0 else _fingerprint
@@ -263,9 +302,9 @@ def run_motif_under_chaos(
     if compare_clean and error is None:
         clean_cluster = Cluster.build(
             n_nodes=n_nodes, topology=topology, nic_type="rvma", fidelity="flow",
-            seed=seed, nic_config=nic_config,
+            seed=seed, nic_config=nic_config, net_config=net_config,
         )
-        clean_motif = _build_motif(motif_name, clean_cluster)
+        clean_motif = _build_motif(motif_name, clean_cluster, motif_params)
         clean_motif.run()
         identical = fingerprint(motif_name, motif, cluster) == fingerprint(
             motif_name, clean_motif, clean_cluster

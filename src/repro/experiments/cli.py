@@ -116,6 +116,12 @@ def main(argv: list[str] | None = None) -> int:
         from .kv_churn import services_main
 
         return services_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        # The scenario fuzzer owns its own subcommands
+        # (`rvma-experiments fuzz run --seed-start 1 --count 20`).
+        from repro.scenarios.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rvma-experiments",
         description="Regenerate the RVMA paper's tables and figures",
@@ -141,7 +147,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=None,
-        help="pin the chaos/chaos-crash sweeps to a single seed "
+        help="pin the chaos/chaos-crash/kv-churn sweeps to a single seed "
         "(default: the fixed 3-seed matrix); lets CI shard seeds "
         "and failures replay exactly",
     )

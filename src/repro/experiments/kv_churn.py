@@ -60,6 +60,8 @@ class KvOutcome:
     rx_paced: int
     gave_up: int
     puts_lost: int
+    #: simulator events executed — the bench harness's events/sec basis.
+    events_executed: int = 0
     run_report: Optional[object] = None
 
     @property
@@ -174,6 +176,7 @@ def run_kv_service(
         rx_paced=counters.get("transport.rx_paced", 0),
         gave_up=counters.get("transport.gave_up", 0),
         puts_lost=counters.get("nic.rvma.puts_lost", 0),
+        events_executed=cluster.sim.events_executed,
         run_report=(
             RunReport.collect(
                 cluster,
@@ -264,7 +267,22 @@ def services_main(argv: Optional[list[str]] = None) -> int:
         prog="rvma-experiments services",
         description="Drive the sharded RVMA key-value service",
     )
-    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="workload seed (default 1); with --churn, pins the sweep to "
+        "this single seed so CI can shard seeds the same way the "
+        "chaos/chaos-crash sweeps do",
+    )
+    parser.add_argument(
+        "--churn", action="store_true",
+        help="run the kv-churn sweep (chaos on) instead of a single cell; "
+        "seeds come from --seeds, or --seed when given, else the "
+        "default 3-seed matrix",
+    )
+    parser.add_argument(
+        "--seeds", type=str, default="",
+        help="comma-separated seed list for --churn (overrides --seed)",
+    )
     parser.add_argument("--servers", type=int, default=3, help="server node count")
     parser.add_argument("--shards-per-node", type=int, default=2)
     parser.add_argument("--client-nodes", type=int, default=4)
@@ -287,13 +305,29 @@ def services_main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--trace", action="store_true", help="enable span tracing")
     args = parser.parse_args(argv)
 
+    if args.churn:
+        if args.seeds:
+            seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+        elif args.seed is not None:
+            seeds = (args.seed,)
+        else:
+            seeds = (1, 2, 3)
+        result = run_kv_churn(seeds=seeds, observe=bool(args.metrics_out), trace=args.trace)
+        print(result.to_text())
+        for key, value in result.summary.items():
+            print(f"  {key}: {value}")
+        if args.metrics_out and result.run_report is not None:
+            result.run_report.save(args.metrics_out)
+            print(f"observability report: {args.metrics_out}")
+        return 0 if result.summary.get("all_invariants_ok") else 1
+
     workload = WorkloadConfig(
         n_ops=args.ops, n_keys=args.keys, value_bytes=args.value_bytes,
         zipf_s=args.zipf, mode=args.mode, batch=args.batch,
         mean_interarrival_ns=args.interarrival_ns,
     )
     out = run_kv_service(
-        seed=args.seed, n_server_nodes=args.servers,
+        seed=args.seed if args.seed is not None else 1, n_server_nodes=args.servers,
         shards_per_node=args.shards_per_node, n_client_nodes=args.client_nodes,
         clients_per_node=args.clients_per_node, workload=workload,
         chaos=args.chaos, observe=bool(args.metrics_out), trace=args.trace,

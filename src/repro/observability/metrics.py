@@ -138,6 +138,13 @@ CATALOG: dict[str, MetricSpec] = {
         _s("service.kv.reply_batch", "replies", "Replies coalesced into one put per (shard sweep, client)."),
         _s("service.kv.shard_queue_depth", "requests", "Decoded requests waiting in a shard's queue per server sweep."),
         _h("service.kv.request_latency_ns", "ns", "Client-observed KV request latency (issue to decoded reply)."),
+        # --- scenario: the seeded scenario fuzzer -------------------------
+        _c("scenario.runs", "runs", "Scenario executions driven by the fuzzer runner (replay or campaign)."),
+        _c("scenario.failures", "runs", "Scenario executions whose oracles reported a failure fingerprint."),
+        _c("scenario.faults_scheduled", "events", "Pinned fault events installed from scenario documents."),
+        _c("scenario.workload_ops", "ops", "Abstract workload weight (steps/messages) of executed scenarios."),
+        _c("scenario.shrink_attempts", "candidates", "Shrink candidates evaluated while minimizing a failing scenario."),
+        _c("scenario.shrink_accepted", "candidates", "Shrink candidates accepted (smaller, same failure fingerprint)."),
         # --- faults: injected chaos -------------------------------------
         _c("faults.crashes", "crashes", "Crash faults injected by the fault injector."),
         _c("faults.restarts", "restarts", "Restart faults injected by the fault injector."),

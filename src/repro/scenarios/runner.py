@@ -1,0 +1,510 @@
+"""Scenario runner: bit-identical replay plus failure fingerprints.
+
+One scenario document in, one :class:`ScenarioOutcome` out.  The runner
+owns the oracle adapters:
+
+* **motif scenarios** route through the chaos harness
+  (:func:`repro.experiments.chaos.run_motif_under_chaos`) with the
+  scenario's pinned :class:`~repro.faults.chaos.ChaosSchedule`, routing
+  mode and workload shape — completion, exactness, auditor and
+  replay-hole invariants all apply;
+* **kv scenarios** replay the pinned per-client op scripts against the
+  sharded service and check per-key linearizability exactly (keys are
+  partitioned per client, so each script's local model is the single
+  valid linearization);
+* **differential scenarios** drive the pinned channel matrix through
+  every compared protocol backend and demand byte-identical delivery.
+
+Failures collapse to a :class:`FailureFingerprint` — a sorted tuple of
+*coarse* component strings (exception type, invariant name, auditor
+violation kind, differential divergence digest).  Coarseness is load
+bearing: the auto-shrinker must be able to shrink a scenario without
+the fingerprint drifting, so fingerprints never include payload bytes,
+node ids or timestamps.
+
+Replay determinism: the runner pins the engine mode per scenario and
+scrubs wall-clock fields from the attached RunReport, so replaying the
+same document twice produces **byte-identical** report JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..cluster.builder import Cluster
+from ..core.api import RvmaApi
+from ..faults.chaos import ChaosEvent, ChaosSchedule
+from ..faults.injectors import FaultInjector
+from ..network.config import NetworkConfig
+from ..network.routing import RoutingMode
+from ..nic.rvma import RvmaNicConfig
+from ..observability import RunReport
+from ..services import KvClient, KvServer, ShardMap
+from ..services.wire import STATUS_NOT_FOUND, STATUS_OK
+from ..sim.process import AllOf, spawn
+from .schema import Scenario
+
+#: Engine-run ceilings: a stalled scenario must terminate, not spin.
+MOTIF_DEADLINE_NS = 50_000_000.0
+KV_DEADLINE_NS = 80_000_000.0
+DIFF_DEADLINE_NS = 50_000_000.0
+
+_ROUTING = {"static": RoutingMode.STATIC, "adaptive": RoutingMode.ADAPTIVE}
+
+
+@dataclass(frozen=True)
+class FailureFingerprint:
+    """Coarse, shrink-stable identity of a scenario failure."""
+
+    components: tuple = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.components)
+
+    @property
+    def digest(self) -> str:
+        return hashlib.blake2s(
+            "|".join(self.components).encode("utf-8"), digest_size=6
+        ).hexdigest()
+
+    def describe(self) -> str:
+        if not self.components:
+            return "pass"
+        return f"{self.digest}: " + " + ".join(self.components)
+
+    @classmethod
+    def collect(cls, components) -> "FailureFingerprint":
+        return cls(components=tuple(sorted(set(components))))
+
+
+@dataclass
+class ScenarioOutcome:
+    """One scenario execution: verdict, fingerprint, evidence."""
+
+    scenario: Scenario
+    failed: bool
+    fingerprint: FailureFingerprint
+    details: dict = field(default_factory=dict)
+    run_report: Optional[RunReport] = None
+
+    def report_dict(self) -> Optional[dict]:
+        """Deterministic (wall-clock-scrubbed) report dictionary."""
+        if self.run_report is None:
+            return None
+        return scrub_report(self.run_report.to_dict())
+
+    def report_json(self) -> Optional[str]:
+        import json
+
+        doc = self.report_dict()
+        if doc is None:
+            return None
+        return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+    def describe(self) -> str:
+        verdict = "FAILED" if self.failed else "ok"
+        return f"{self.scenario.describe()} -> {verdict} [{self.fingerprint.describe()}]"
+
+
+@contextmanager
+def engine_mode(mode: str) -> Iterator[None]:
+    """Pin the simulator engine mode (fast/plain) for one scenario."""
+    import repro.sim.engine as engine
+
+    saved = engine.DEFAULT_FAST
+    engine.DEFAULT_FAST = mode == "fast"
+    try:
+        yield
+    finally:
+        engine.DEFAULT_FAST = saved
+
+
+def scrub_report(doc: dict) -> dict:
+    """Zero every wall-clock field so replayed reports are byte-identical.
+
+    Simulated time is deterministic; host wall time is not.  Spans carry
+    both, and the hottest-by-wall-time ranking is ordered by wall time,
+    so it is dropped entirely rather than re-sorted.
+    """
+
+    def walk(obj):
+        if isinstance(obj, dict):
+            out = {}
+            for key, value in obj.items():
+                if key == "hottest_by_wall_time":
+                    out[key] = []
+                elif key in ("wall_s", "wall_time", "wall_start", "wall_end"):
+                    out[key] = 0.0
+                else:
+                    out[key] = walk(value)
+            return out
+        if isinstance(obj, list):
+            return [walk(v) for v in obj]
+        return obj
+
+    return walk(doc)
+
+
+def _chaos_schedule(scenario: Scenario) -> ChaosSchedule:
+    """The scenario's pinned fault plan as an applicable schedule."""
+    return ChaosSchedule(
+        events=[
+            ChaosEvent(kind=ev.kind, start=ev.start, end=ev.end, params=tuple(ev.params))
+            for ev in scenario.fault_events
+        ],
+        drop_prob=scenario.drop_prob,
+    )
+
+
+def _stamp_scenario_stats(cluster: Cluster, scenario: Scenario, failed: bool) -> None:
+    stats = cluster.sim.stats
+    stats.counter("scenario.runs").add()
+    stats.counter("scenario.faults_scheduled").add(len(scenario.fault_events))
+    stats.counter("scenario.workload_ops").add(scenario.workload_size())
+    if failed:
+        stats.counter("scenario.failures").add()
+
+
+def _audit_kinds(audit_report: Optional[dict]) -> list:
+    """Violation kinds out of the auditor's describe() strings."""
+    kinds = []
+    for line in (audit_report or {}).get("violations", ()):
+        if line.startswith("["):
+            kinds.append(f"audit:{line[1:line.index(']')]}")
+        else:  # pragma: no cover - defensive against format drift
+            kinds.append("audit:unknown")
+    return kinds
+
+
+# ------------------------------------------------------------------ motif oracle
+
+
+def _run_motif(scenario: Scenario, trace: bool) -> ScenarioOutcome:
+    from ..experiments.chaos import run_motif_under_chaos
+
+    schedule = _chaos_schedule(scenario)
+    try:
+        out = run_motif_under_chaos(
+            scenario.workload_kind,
+            seed=scenario.cluster_seed,
+            n_nodes=scenario.n_nodes,
+            topology=scenario.topology,
+            reliability=scenario.reliability,
+            drop_prob=scenario.drop_prob,
+            compare_clean=scenario.compare_clean,
+            n_crashes=scenario.crash_count,
+            audit=scenario.audit,
+            observe=True,
+            trace=trace,
+            schedule=schedule,
+            routing=_ROUTING[scenario.routing],
+            motif_params=dict(scenario.workload),
+            scenario_meta={
+                "id": scenario.scenario_id,
+                "workload": scenario.workload_kind,
+                "workload_ops": scenario.workload_size(),
+            },
+        )
+    except Exception as exc:
+        return ScenarioOutcome(
+            scenario=scenario,
+            failed=True,
+            fingerprint=FailureFingerprint.collect([f"exception:{type(exc).__name__}"]),
+            details={"error": str(exc)},
+        )
+
+    components = []
+    if out.error is not None:
+        components.append("exception:RuntimeError")
+    if not out.completed and out.error is None:
+        components.append("invariant:incomplete")
+    if out.gave_up:
+        components.append("invariant:gave_up")
+    if out.identical_to_clean is False:
+        components.append("invariant:not_identical")
+    if out.replay_holes:
+        components.append("invariant:replay_holes")
+    if out.put_window_evictions or out.put_giveups:
+        components.append("invariant:giveups")
+    components.extend(_audit_kinds(out.audit_report))
+    fp = FailureFingerprint.collect(components)
+    report = out.run_report
+    if report is not None:
+        # The chaos harness collects its report before the verdict is
+        # known; fold the failure counter in post hoc so campaign
+        # rollups carry scenario.failures.
+        if fp:
+            group = report.metrics.setdefault("scenario", {})
+            group["scenario.failures"] = group.get("scenario.failures", 0) + 1
+        report.meta.update(
+            scenario_id=scenario.scenario_id,
+            scenario_seed=scenario.seed,
+            fingerprint=fp.describe(),
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        failed=bool(fp),
+        fingerprint=fp,
+        details={
+            "error": out.error,
+            "retransmits": out.retransmits,
+            "gave_up": out.gave_up,
+            "identical_to_clean": out.identical_to_clean,
+            "audit_violations": out.audit_violations,
+            "crash_restarts": out.crash_restarts,
+        },
+        run_report=report,
+    )
+
+
+# --------------------------------------------------------------------- kv oracle
+
+
+def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
+    from ..experiments.chaos import CHAOS_RELIABILITY
+
+    scripts = scenario.workload["scripts"]
+    shards_per_node = int(scenario.workload.get("shards_per_node", 2))
+    value_scale = int(scenario.workload.get("value_scale", 24))
+    cluster = Cluster.build(
+        n_nodes=scenario.n_nodes,
+        topology=scenario.topology,
+        nic_type="rvma",
+        fidelity="flow",
+        seed=scenario.cluster_seed,
+        nic_config=RvmaNicConfig(
+            reliability=CHAOS_RELIABILITY if scenario.reliability else None
+        ),
+        net_config=NetworkConfig(routing=_ROUTING[scenario.routing]),
+    )
+    _chaos_schedule(scenario).apply(FaultInjector(cluster))
+    if trace:
+        cluster.sim.spans.enable()
+    scenario_span = cluster.sim.spans.begin("scenario", "kv", id=scenario.scenario_id)
+
+    shard_map = ShardMap([0], shards_per_node=shards_per_node)
+    server = KvServer(cluster.nodes[0], shard_map).start()
+    failures: list = []
+
+    def client_proc(rank: int, script):
+        client = KvClient(RvmaApi(cluster.nodes[1 + rank]), shard_map, index=rank)
+        yield from client.open()
+        model: dict = {}
+        for step, (op, key_i, fill) in enumerate(script):
+            # Keys partitioned per client: the local model is the exact
+            # linearization for this client's namespace.
+            key = b"c%d-k%d" % (rank, key_i)
+            if op == "put":
+                value = bytes([fill]) * (1 + fill % max(1, value_scale))
+                status = yield from client.put(key, value)
+                if status != STATUS_OK:
+                    failures.append(f"rank{rank} step{step}: put -> {status}")
+                else:
+                    model[key] = value
+            elif op == "delete":
+                status = yield from client.delete(key)
+                want = STATUS_OK if key in model else STATUS_NOT_FOUND
+                if status != want:
+                    failures.append(f"rank{rank} step{step}: delete -> {status} want {want}")
+                model.pop(key, None)
+            else:
+                status, value = yield from client.get(key)
+                if key in model:
+                    if (status, value) != (STATUS_OK, model[key]):
+                        failures.append(
+                            f"rank{rank} step{step}: get -> ({status}, len "
+                            f"{len(value or b'')}) want len {len(model[key])}"
+                        )
+                elif status != STATUS_NOT_FOUND:
+                    failures.append(f"rank{rank} step{step}: ghost get -> {status}")
+
+    procs = [
+        spawn(cluster.sim, client_proc(rank, script), f"fuzz-kv-{rank}")
+        for rank, script in enumerate(scripts)
+    ]
+
+    def stopper():
+        yield AllOf([p.done_future for p in procs])
+        server.stop()
+
+    stop = spawn(cluster.sim, stopper(), "fuzz-kv-stop")
+    error: Optional[str] = None
+    try:
+        cluster.sim.run(until=KV_DEADLINE_NS)
+    except Exception as exc:
+        error = f"exception:{type(exc).__name__}"
+
+    components = []
+    if error is not None:
+        components.append(error)
+    elif not all(p.finished for p in [*procs, stop]):
+        components.append("stall")
+    if failures:
+        components.append("kv:linearizability")
+    counters = cluster.sim.stats.counters()
+    if counters.get("transport.gave_up", 0):
+        components.append("invariant:gave_up")
+    if counters.get("nic.rvma.puts_lost", 0) and scenario.reliability:
+        components.append("invariant:puts_lost")
+    fp = FailureFingerprint.collect(components)
+    cluster.sim.spans.end(scenario_span, completed=not fp)
+    _stamp_scenario_stats(cluster, scenario, bool(fp))
+    report = RunReport.collect(
+        cluster,
+        meta={
+            "harness": "scenario-fuzz",
+            "scenario_id": scenario.scenario_id,
+            "scenario_seed": scenario.seed,
+            "workload": "kv",
+            "fingerprint": fp.describe(),
+        },
+    )
+    return ScenarioOutcome(
+        scenario=scenario,
+        failed=bool(fp),
+        fingerprint=fp,
+        details={"kv_failures": failures[:10], "clients": len(scripts)},
+        run_report=report,
+    )
+
+
+# ------------------------------------------------------------- differential oracle
+
+
+def _diff_payload(seed: int, src: int, dst: int, i: int, max_msg: int) -> bytes:
+    size = 64 + ((src * 13 + dst * 7 + i * 29 + seed) % max(1, max_msg - 64))
+    base = src * 31 + dst * 17 + i * 3 + seed
+    return bytes((base + j) % 256 for j in range(size))
+
+
+def _run_diff_backend(scenario: Scenario, backend: str):
+    """One backend over the pinned channel matrix.
+
+    Returns ``(delivered, counts, stalled, cluster)``; *cluster* lets the
+    caller collect the primary backend's observability report.
+    """
+    from ..motifs import RdmaProtocol, RvmaProtocol, UcxProtocol
+
+    factories = {
+        "rvma": lambda: RvmaProtocol(mode=RoutingMode.STATIC),
+        "verbs": lambda: RdmaProtocol(mode=RoutingMode.STATIC),
+        "ucx": lambda: UcxProtocol(mode=RoutingMode.STATIC),
+    }
+    proto = factories[backend]()
+    max_msg = int(scenario.workload.get("max_msg", 512))
+    channels = [(int(s), int(d), int(n)) for s, d, n in scenario.workload["channels"]]
+    cluster = Cluster.build(
+        n_nodes=scenario.n_nodes,
+        topology=scenario.topology,
+        nic_type=proto.nic_type,
+        fidelity="flow",
+        seed=scenario.cluster_seed,
+    )
+    delivered: dict = {}
+    counts: dict = {}
+    seed = scenario.cluster_seed
+    tags = {(s, d): 100 + k for k, (s, d, _n) in enumerate(sorted(channels))}
+
+    def receiver(src, dst, tag, n_msgs):
+        ep = yield from proto.recv_setup(cluster.nodes[dst], src, tag, max_msg, slots=n_msgs)
+        for i in range(n_msgs):
+            want = len(_diff_payload(seed, src, dst, i, max_msg))
+            delivered[(src, dst, i)] = (yield from ep.recv_data(want))
+        counts[(src, dst)] = ep.received
+
+    def sender(src, dst, tag, n_msgs):
+        ep = yield from proto.send_setup(cluster.nodes[src], dst, tag, max_msg)
+        for i in range(n_msgs):
+            payload = _diff_payload(seed, src, dst, i, max_msg)
+            yield from ep.send(len(payload), payload)
+
+    procs = []
+    for src, dst, n_msgs in sorted(channels):
+        tag = tags[(src, dst)]
+        procs.append(spawn(cluster.sim, receiver(src, dst, tag, n_msgs), f"r{src}-{dst}"))
+        procs.append(spawn(cluster.sim, sender(src, dst, tag, n_msgs), f"s{src}-{dst}"))
+    cluster.sim.run(until=DIFF_DEADLINE_NS)
+    stalled = not all(p.finished for p in procs)
+    return delivered, counts, stalled, cluster
+
+
+def _run_differential(scenario: Scenario, trace: bool) -> ScenarioOutcome:
+    results = {}
+    primary_cluster = None
+    components = []
+    try:
+        for backend in scenario.compare:
+            delivered, counts, stalled, cluster = _run_diff_backend(scenario, backend)
+            results[backend] = (delivered, counts)
+            if stalled:
+                components.append("stall")
+            if backend == scenario.compare[0]:
+                primary_cluster = cluster
+    except Exception as exc:
+        return ScenarioOutcome(
+            scenario=scenario,
+            failed=True,
+            fingerprint=FailureFingerprint.collect([f"exception:{type(exc).__name__}"]),
+            details={"error": str(exc)},
+        )
+
+    base_name = scenario.compare[0]
+    base_delivered, base_counts = results[base_name]
+    divergences = []
+    for name in scenario.compare[1:]:
+        got_delivered, got_counts = results[name]
+        if got_delivered != base_delivered:
+            divergences.append(("bytes", name))
+        if got_counts != base_counts:
+            divergences.append(("counts", name))
+    if divergences:
+        # Digest over the *shape* of the divergence (which backend,
+        # bytes vs counts) — stable while the shrinker trims channels.
+        digest = hashlib.blake2s(
+            "|".join(f"{k}:{n}" for k, n in sorted(divergences)).encode("utf-8"),
+            digest_size=4,
+        ).hexdigest()
+        components.append(f"diff:{digest}")
+    fp = FailureFingerprint.collect(components)
+
+    report = None
+    if primary_cluster is not None:
+        _stamp_scenario_stats(primary_cluster, scenario, bool(fp))
+        report = RunReport.collect(
+            primary_cluster,
+            meta={
+                "harness": "scenario-fuzz",
+                "scenario_id": scenario.scenario_id,
+                "scenario_seed": scenario.seed,
+                "workload": "differential",
+                "backends": list(scenario.compare),
+                "fingerprint": fp.describe(),
+            },
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        failed=bool(fp),
+        fingerprint=fp,
+        details={
+            "backends": list(scenario.compare),
+            "divergences": [f"{k}:{n}" for k, n in sorted(divergences)],
+        },
+        run_report=report,
+    )
+
+
+# -------------------------------------------------------------------- entry point
+
+
+def run_scenario(scenario: Scenario, trace: bool = False) -> ScenarioOutcome:
+    """Execute *scenario* under its pinned engine mode and oracles."""
+    scenario.validate()
+    with engine_mode(scenario.engine):
+        if scenario.workload_kind == "kv":
+            return _run_kv(scenario, trace)
+        if scenario.workload_kind == "differential":
+            return _run_differential(scenario, trace)
+        return _run_motif(scenario, trace)

@@ -1,0 +1,238 @@
+"""Greedy scenario minimization that preserves the failure fingerprint.
+
+Given a failing scenario, the shrinker walks a candidate ladder —
+drop fault events, zero the background drop probability, simplify
+routing, halve the workload, shrink the node count — accepting any
+candidate that (a) is **strictly smaller** under
+:meth:`~repro.scenarios.schema.Scenario.size` and (b) still fails with
+the **identical** :class:`~repro.scenarios.runner.FailureFingerprint`.
+Every acceptance restarts the ladder from the new smaller scenario
+(classic greedy delta debugging), so the result is a local minimum: no
+single remaining transformation can be applied without losing the bug.
+
+Because fault events are explicit rows in the document (not a seed that
+regenerates them), dropping one is a pure document edit — the shrinker
+never needs to re-sample anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..network.topology import make_topology
+from .runner import FailureFingerprint, ScenarioOutcome, run_scenario
+from .schema import Scenario, ScenarioError
+
+#: Candidate-evaluation budget: each attempt is a full scenario run.
+DEFAULT_MAX_ATTEMPTS = 200
+
+#: Node-count ladder the shrinker descends through.
+_NODE_LADDER = (2, 3, 4, 6, 8, 9, 12)
+
+
+class ShrinkError(ValueError):
+    """Shrinking was asked of a scenario that does not fail."""
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink session."""
+
+    original: Scenario
+    shrunk: Scenario
+    fingerprint: FailureFingerprint
+    attempts: int = 0
+    accepted: int = 0
+    trail: list = field(default_factory=list)
+
+    @property
+    def reduced(self) -> bool:
+        return self.shrunk.size() < self.original.size()
+
+    def describe(self) -> str:
+        return (
+            f"shrink {self.original.scenario_id} -> {self.shrunk.scenario_id}: "
+            f"size {self.original.size()} -> {self.shrunk.size()} "
+            f"({self.accepted} accepted / {self.attempts} attempts), "
+            f"fingerprint {self.fingerprint.describe()}"
+        )
+
+
+def _events_valid_for(scenario: Scenario, n_nodes: int) -> tuple:
+    """The scenario's fault events that remain meaningful at *n_nodes*."""
+    topo = make_topology(scenario.topology, n_nodes)
+    links = {tuple(sorted(l)) for l in topo.links()}
+    keep = []
+    for ev in scenario.fault_events:
+        if ev.kind == "link_flap":
+            if tuple(sorted(ev.params)) in links:
+                keep.append(ev)
+        elif ev.kind == "switch_failure":
+            if ev.params[0] < topo.n_switches:
+                keep.append(ev)
+        else:  # partition / crash_restart reference node ids
+            if all(p < n_nodes for p in ev.params):
+                keep.append(ev)
+    return tuple(keep)
+
+
+def _workload_candidates(scenario: Scenario) -> Iterator[tuple]:
+    """(workload-dict, label) candidates with a smaller workload_size."""
+    w = dict(scenario.workload)
+    kind = scenario.workload_kind
+    if kind == "allreduce":
+        if w["iterations"] > 1:
+            yield {**w, "iterations": w["iterations"] // 2 or 1}, "halve iterations"
+        if w["vector_len"] > 1:
+            yield {**w, "vector_len": w["vector_len"] // 2 or 1}, "halve vector"
+    elif kind == "incast":
+        if w["msgs_per_client"] > 1:
+            yield {**w, "msgs_per_client": w["msgs_per_client"] // 2 or 1}, "halve msgs"
+        if w["msg_bytes"] > 512:
+            yield {**w, "msg_bytes": w["msg_bytes"] // 2}, "halve msg bytes"
+    elif kind == "halo3d":
+        if w["iterations"] > 1:
+            yield {**w, "iterations": w["iterations"] // 2 or 1}, "halve iterations"
+        if w["msg_bytes"] > 1024:
+            yield {**w, "msg_bytes": w["msg_bytes"] // 2}, "halve msg bytes"
+    elif kind == "kv":
+        scripts = [list(s) for s in w["scripts"]]
+        if len(scripts) > 1:
+            yield {**w, "scripts": scripts[:-1]}, "drop last client"
+        longest = max(range(len(scripts)), key=lambda i: len(scripts[i]))
+        if len(scripts[longest]) > 1:
+            trimmed = [list(s) for s in scripts]
+            trimmed[longest] = trimmed[longest][: max(1, len(trimmed[longest]) // 2)]
+            yield {**w, "scripts": trimmed}, f"trim client {longest} script"
+    else:  # differential
+        channels = [list(c) for c in w["channels"]]
+        if len(channels) > 1:
+            for i in range(len(channels)):
+                yield (
+                    {**w, "channels": channels[:i] + channels[i + 1:]},
+                    f"drop channel {i}",
+                )
+        heaviest = max(range(len(channels)), key=lambda i: channels[i][2])
+        if channels[heaviest][2] > 1:
+            lighter = [list(c) for c in channels]
+            lighter[heaviest][2] = max(1, lighter[heaviest][2] // 2)
+            yield {**w, "channels": lighter}, f"halve channel {heaviest}"
+
+
+def _candidates(scenario: Scenario) -> Iterator[tuple]:
+    """Strictly smaller candidate scenarios, cheapest edits first."""
+    # 1. Drop the whole fault plan, then individual events.
+    if scenario.fault_events:
+        yield scenario.with_changes(fault_events=()), "drop all faults"
+        for i in range(len(scenario.fault_events)):
+            rest = scenario.fault_events[:i] + scenario.fault_events[i + 1:]
+            yield (
+                scenario.with_changes(fault_events=rest),
+                f"drop fault {i} ({scenario.fault_events[i].kind})",
+            )
+    # 2. Background loss off.
+    if scenario.drop_prob > 0:
+        yield scenario.with_changes(drop_prob=0.0), "zero drop_prob"
+    # 3. Deterministic routing.
+    if scenario.routing == "adaptive":
+        yield scenario.with_changes(routing="static"), "static routing"
+    # 4. Smaller workload.
+    for workload, label in _workload_candidates(scenario):
+        yield scenario.with_changes(workload=workload), label
+    # 5. Fewer compared backends (differential only).
+    if scenario.workload_kind == "differential" and len(scenario.compare) > 2:
+        for i in range(1, len(scenario.compare)):
+            compare = scenario.compare[:i] + scenario.compare[i + 1:]
+            yield (
+                scenario.with_changes(compare=compare),
+                f"drop backend {scenario.compare[i]}",
+            )
+    # 6. Fewer nodes (events that stop making sense are dropped with it).
+    floor = 2
+    if scenario.workload_kind == "kv":
+        floor = 1 + len(scenario.workload["scripts"])
+    elif scenario.workload_kind == "differential":
+        floor = 1 + max(
+            max(int(s), int(d)) for s, d, _n in scenario.workload["channels"]
+        )
+    for n in _NODE_LADDER:
+        if floor <= n < scenario.n_nodes:
+            yield (
+                scenario.with_changes(
+                    n_nodes=n, fault_events=_events_valid_for(scenario, n)
+                ),
+                f"shrink to {n} nodes",
+            )
+
+
+def shrink(
+    scenario: Scenario,
+    expect: Optional[FailureFingerprint] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    verbose: bool = False,
+) -> ShrinkResult:
+    """Minimize *scenario* while preserving its failure fingerprint.
+
+    ``expect`` pins the fingerprint to preserve; by default the scenario
+    is run once and its own fingerprint is the target.  Raises
+    :class:`ShrinkError` if the scenario does not fail (or fails with a
+    different fingerprint than ``expect``).
+    """
+    base: ScenarioOutcome = run_scenario(scenario)
+    if not base.failed:
+        raise ShrinkError(f"scenario {scenario.scenario_id} passes; nothing to shrink")
+    target = expect or base.fingerprint
+    if base.fingerprint != target:
+        raise ShrinkError(
+            f"scenario {scenario.scenario_id} fails with "
+            f"{base.fingerprint.describe()}, not the expected {target.describe()}"
+        )
+
+    result = ShrinkResult(original=scenario, shrunk=scenario, fingerprint=target)
+    current = scenario
+    improved = True
+    while improved and result.attempts < max_attempts:
+        improved = False
+        for candidate, label in _candidates(current):
+            if candidate.size() >= current.size():
+                continue
+            try:
+                candidate.validate()
+            except ScenarioError:
+                continue
+            if result.attempts >= max_attempts:
+                break
+            result.attempts += 1
+            try:
+                out = run_scenario(candidate)
+            except Exception:
+                continue  # a candidate that breaks differently is not the bug
+            if out.failed and out.fingerprint == target:
+                if verbose:
+                    print(
+                        f"[shrink] {label}: size {current.size()} -> "
+                        f"{candidate.size()}"
+                    )
+                current = candidate
+                result.accepted += 1
+                result.trail.append(label)
+                improved = True
+                break  # greedy restart from the smaller scenario
+
+    # Normalization epilogue: a canonical cluster seed (same size, so it
+    # is attempted once, after minimization, and kept only if the
+    # fingerprint survives).
+    if current.cluster_seed != 1:
+        candidate = current.with_changes(cluster_seed=1)
+        result.attempts += 1
+        try:
+            out = run_scenario(candidate)
+            if out.failed and out.fingerprint == target:
+                current = candidate
+                result.trail.append("normalize cluster_seed")
+        except Exception:
+            pass
+
+    result.shrunk = current
+    return result
