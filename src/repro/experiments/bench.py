@@ -376,6 +376,43 @@ def bench_kv_incast(
     )
 
 
+def bench_kv_noisy(victim_ops: int, aggressor_ops: int, aggressor_batch: int) -> BenchRecord:
+    """The multi-tenant QoS sweep path: DRR + admission under incast.
+
+    Runs one noisy-neighbor cell (solo baseline + combined run, QoS on)
+    so the regression gate covers the weighted-fair scheduler, the
+    admission controller and the robust-client retry path.  Events/sec
+    counts the combined run's events over the whole cell's wall time —
+    pinned seed, so both are deterministic and comparable.
+    """
+    from repro.experiments.qos_noisy import run_noisy_neighbor
+
+    t0 = time.perf_counter()
+    outcome = run_noisy_neighbor(
+        seed=1, qos=True, victim_ops=victim_ops,
+        aggressor_ops=aggressor_ops, aggressor_batch=aggressor_batch,
+    )
+    wall = time.perf_counter() - t0
+    return BenchRecord(
+        name="kv-noisy",
+        wall_s=wall,
+        events=outcome.events_executed,
+        sim_ns=outcome.victim_p99_ns,
+        peak_rss_kb=_peak_rss_kb(),
+        metrics={
+            "service.kv.overload_replies": outcome.overload_replies,
+            "nic.rvma.quota_rejects": outcome.quota_rejects,
+            "service.kv.client.retries": outcome.retries,
+        },
+        extras={
+            "victim_p99_ns": outcome.victim_p99_ns,
+            "isolation_factor": round(outcome.isolation_factor, 3),
+            "isolated": outcome.isolated,
+            "invariants_ok": outcome.invariants_ok,
+        },
+    )
+
+
 def bench_chaos_crash(seed: int) -> BenchRecord:
     """One crash-restart chaos cell: motif + faults + recovery + audit.
 
@@ -423,6 +460,7 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
         ("halo3d", lambda: bench_halo3d(64, 4, 16 * 1024)),
         ("allreduce", lambda: bench_allreduce(32, 6, 8)),
         ("kv-incast", lambda: bench_kv_incast(8, 2, 640, 4)),
+        ("kv-noisy", lambda: bench_kv_noisy(160, 800, 8)),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
     "smoke": [
@@ -432,6 +470,7 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
         ("halo3d", lambda: bench_halo3d(27, 2, 4 * 1024)),
         ("allreduce", lambda: bench_allreduce(8, 3, 8)),
         ("kv-incast", lambda: bench_kv_incast(4, 2, 160, 4)),
+        ("kv-noisy", lambda: bench_kv_noisy(80, 320, 4)),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
 }

@@ -32,6 +32,7 @@ from .fig45 import run_fig4, run_fig5
 from .fig6 import run_fig6
 from .kv_churn import run_kv_churn
 from .motif_sweep import run_fig7, run_fig8
+from .qos_noisy import run_noisy_sweep
 from .report import ExperimentResult
 
 PAPER_NODES = 8192
@@ -83,6 +84,10 @@ def _kv_churn_runner(args) -> ExperimentResult:
     )
 
 
+def _qos_noisy_runner(args) -> ExperimentResult:
+    return run_noisy_sweep(seeds=_seeds_of(args))
+
+
 RUNNERS: dict[str, Callable] = {
     "fig4": lambda args: run_fig4(),
     "fig5": lambda args: run_fig5(),
@@ -98,6 +103,7 @@ RUNNERS: dict[str, Callable] = {
     "chaos": _chaos_runner,
     "chaos-crash": _chaos_crash_runner,
     "kv-churn": _kv_churn_runner,
+    "qos-noisy": _qos_noisy_runner,
 }
 
 
@@ -122,6 +128,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.scenarios.cli import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "qos":
+        # Noisy-neighbor QoS cell: owns its flags (`rvma-experiments
+        # qos --sweep --engine plain`).
+        from .qos_noisy import qos_main
+
+        return qos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rvma-experiments",
         description="Regenerate the RVMA paper's tables and figures",

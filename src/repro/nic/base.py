@@ -79,6 +79,13 @@ class BaseNic(Component):
         #: (:class:`repro.recovery.auditor.InvariantAuditor`).  None by
         #: default: the hot paths only pay an attribute check.
         self.auditor = None
+        #: Opt-in placement quota hook (duck-typed so this layer never
+        #: imports services): an object with ``admit(src, mailbox,
+        #: nbytes, now) -> bool`` consulted before inbound payload is
+        #: placed.  A False verdict is reject-into-counter semantics —
+        #: the concrete NIC NACKs and counts, it does not drop silently.
+        #: See :class:`repro.services.tenancy.PlacementQuota`.
+        self.placement_quota = None
         #: Reliability layer (None when running the lossless happy path).
         self.transport: Optional[ReliableTransport] = None
         self.detector: Optional[FailureDetector] = None

@@ -57,6 +57,11 @@ class NackReason(Enum):
     NO_MAILBOX = "no_mailbox"  # mailbox never initialised
     NO_BUFFER = "no_buffer"  # bucket empty and no catch-all
     OUT_OF_BOUNDS = "out_of_bounds"  # offset+len exceeds active buffer
+    # Tenant placement quota rejected the put.  Deliberately NOT in the
+    # NIC's auto-retry set: hammering a metered mailbox on the NACK
+    # timer is exactly the behaviour quotas exist to stop — recovery is
+    # the client's backoff/deadline loop (services QoS layer).
+    QUOTA = "quota"
 
 
 @dataclass(frozen=True)

@@ -505,6 +505,15 @@ class RvmaNic(BaseNic):
             # layer will retransmit into the next incarnation).
             self.stat("rx_dropped_failed").add()
             return
+        quota = self.placement_quota
+        if quota is not None and not quota.admit(src, mailbox, nbytes, self.sim.now):
+            # Tenant over its placement quota: reject the whole put
+            # before any bytes land (a partial append rejected mid-put
+            # would duplicate its prefix on a client retry).
+            self.stat("quota_rejects").add()
+            self.stat("puts_discarded").add()
+            self._nack(src, hdr, NackReason.QUOTA)
+            return
         entry, buf = self._resolve_target(hdr, src)
         if entry is None:
             self.stat("puts_discarded").add()
@@ -771,4 +780,9 @@ class RvmaNic(BaseNic):
             # Retryable reason, but the retry budget is spent: a give-up,
             # distinct from non-retryable losses (CLOSED/OUT_OF_BOUNDS).
             self.stat("put_giveups").add()
+        if hdr.reason is NackReason.QUOTA:
+            # Shed by the receiver's tenant quota — an accounted QoS
+            # outcome, not silent loss; oracles subtract this from
+            # puts_lost when judging integrity under QoS scenarios.
+            self.stat("puts_lost_quota").add()
         self.stat("puts_lost").add()

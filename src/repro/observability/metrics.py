@@ -69,6 +69,9 @@ CATALOG: dict[str, MetricSpec] = {
         _c("nic.rvma.nacks_no_mailbox", "msgs", "NACKs sent because no mailbox matched the virtual address."),
         _c("nic.rvma.nacks_no_buffer", "msgs", "NACKs sent because the mailbox had no posted buffer."),
         _c("nic.rvma.nacks_out_of_bounds", "msgs", "NACKs sent because the put exceeded buffer bounds."),
+        _c("nic.rvma.nacks_quota", "msgs", "NACKs sent because the tenant placement quota rejected the put."),
+        _c("nic.rvma.quota_rejects", "ops", "Inbound puts rejected whole at placement by the tenant quota hook."),
+        _c("nic.rvma.puts_lost_quota", "ops", "Sender-side puts abandoned because the receiver's tenant quota shed them (accounted QoS loss, subset of puts_lost)."),
         _c("nic.rvma.gets_failed_peer_death", "ops", "RVMA gets failed locally because the target peer is marked dead."),
         _c("nic.rvma.tx_messages", "msgs", "Data messages injected into the fabric by RVMA NICs."),
         _c("nic.rvma.tx_control", "msgs", "Control messages (acks, nacks, heartbeats) injected by RVMA NICs."),
@@ -138,6 +141,20 @@ CATALOG: dict[str, MetricSpec] = {
         _s("service.kv.reply_batch", "replies", "Replies coalesced into one put per (shard sweep, client)."),
         _s("service.kv.shard_queue_depth", "requests", "Decoded requests waiting in a shard's queue per server sweep."),
         _h("service.kv.request_latency_ns", "ns", "Client-observed KV request latency (issue to decoded reply)."),
+        # --- service.kv QoS: multi-tenant admission, scheduling, robustness
+        _c("service.kv.overload_replies", "ops", "RC_OVERLOAD replies sent by server admission control (token bucket or p99 shedding)."),
+        _h("service.kv.queue_sojourn_ns", "ns", "Time admitted requests spent in the DRR scheduler before execution (the shedding SLO signal)."),
+        _c("service.kv.client.timeouts", "ops", "Client-side request timeouts (no reply within the attempt timeout)."),
+        _c("service.kv.client.retries", "ops", "Client request retransmissions after a timeout (exponential backoff + jitter)."),
+        _c("service.kv.client.stale_replies", "msgs", "Late reply frames dropped because the request was already resolved (a retry won or the deadline passed)."),
+        _c("service.kv.client.backlog_dropped", "ops", "Open-loop arrivals shed at the load generator's backlog cap."),
+        _c("service.kv.tenant.admitted*", "ops", "Per-tenant requests admitted past the token-bucket admitter (…admitted.t<id>)."),
+        _c("service.kv.tenant.shed*", "ops", "Per-tenant requests refused with RC_OVERLOAD at admission (…shed.t<id>)."),
+        _c("service.kv.tenant.served_bytes*", "bytes", "Per-tenant request bytes executed by the weighted-fair scheduler (…served_bytes.t<id>)."),
+        _c("service.kv.tenant.retries*", "ops", "Per-tenant client retransmissions (…retries.t<id>)."),
+        _c("service.kv.tenant.deadline_misses*", "ops", "Per-tenant requests resolved client-side as deadline-exceeded (…deadline_misses.t<id>)."),
+        _c("service.kv.tenant.quota_rejects*", "ops", "Per-tenant puts rejected by the NIC placement quota (…quota_rejects.t<id>)."),
+        _h("service.kv.tenant.request_latency_ns*", "ns", "Per-tenant client-observed request latency (…request_latency_ns.t<id>)."),
         # --- scenario: the seeded scenario fuzzer -------------------------
         _c("scenario.runs", "runs", "Scenario executions driven by the fuzzer runner (replay or campaign)."),
         _c("scenario.failures", "runs", "Scenario executions whose oracles reported a failure fingerprint."),
@@ -206,6 +223,11 @@ def canonical_name(flat_name: str, kind: str = "counter") -> Optional[str]:
     if not suffix:
         return f"host.{flat_name}"
     if component == "faults":
+        return flat_name
+    if component == "service":
+        # Service metrics are registered flat under their canonical
+        # names; the per-tenant families (service.kv.tenant.*.t<id>)
+        # match CATALOG prefix patterns rather than literal entries.
         return flat_name
     if suffix == "rel_replays":
         return "recovery.replayed_msgs"

@@ -189,14 +189,32 @@ def generate(seed: int, known_bad: bool = False) -> Scenario:
             rng, topology, n_nodes, ("link_flap",), HORIZONS["kv"],
             n_events=rng.choice("gen.kv.events", 4), n_crashes=0,
         )
+        workload = {
+            "scripts": _sample_kv_scripts(rng, n_clients),
+            "shards_per_node": 1 + rng.choice("gen.kv.shards", 2),
+            "value_scale": 1 + rng.choice("gen.kv.vscale", 24),
+        }
+        if rng.choice("gen.kv.qos", 2) == 1:
+            # Tenant-mix dimension (schema v2): arm QoS and spread the
+            # clients across two tenants with sampled weights/rates, so
+            # the fuzzer sweeps admission, DRR and deadline paths too.
+            workload["qos"] = True
+            workload["tenant_specs"] = [
+                [
+                    tid,
+                    float(1 << rng.choice("gen.kv.weight", 3)),   # 1/2/4
+                    float(64 * rng.choice("gen.kv.admit", 4)),    # 0..192 B/us
+                    float(256 * rng.choice("gen.kv.quota", 2)),   # 0 or 256 B/us
+                ]
+                for tid in (1, 2)
+            ]
+            workload["client_tenants"] = [
+                1 + rng.choice("gen.kv.tenant", 2) for _ in range(n_clients)
+            ]
         return Scenario(
             seed=seed,
             workload_kind="kv",
-            workload={
-                "scripts": _sample_kv_scripts(rng, n_clients),
-                "shards_per_node": 1 + rng.choice("gen.kv.shards", 2),
-                "value_scale": 1 + rng.choice("gen.kv.vscale", 24),
-            },
+            workload=workload,
             topology=topology,
             n_nodes=n_nodes,
             routing=routing,

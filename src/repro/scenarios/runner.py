@@ -262,13 +262,99 @@ def _run_motif(scenario: Scenario, trace: bool) -> ScenarioOutcome:
 
 # --------------------------------------------------------------------- kv oracle
 
+#: Per-op deadline budget for tenant-mix (qos) scenarios — generous
+#: against the fault horizon so a deadline miss means a genuinely lost
+#: request (quota reject), not a slow one.
+KV_OP_DEADLINE_NS = 8_000_000.0
+
+#: Possible-state sentinel for "key not stored".
+_ABSENT = None
+
+
+def _apply_kv_step(op: str, status: int, value, new_value, possible: set) -> Optional[str]:
+    """Advance one key's possible-state set through one scripted op.
+
+    Exact linearizability generalised to lossy outcomes: receiver-
+    managed streams keep each client's ops in program order, so the only
+    ambiguity is whether a request *executed at all*.  ``RC_OVERLOAD``
+    is a definitive not-executed (the server refused before touching the
+    store); ``STATUS_DEADLINE_EXCEEDED`` is ambiguous (the frame may be
+    quota-rejected at the NIC or may have executed unanswered), so the
+    set forks.  A successful GET observes the store and collapses the
+    set back to a singleton.  Returns a failure string or None.
+    """
+    from ..services.wire import STATUS_DEADLINE_EXCEEDED, STATUS_OVERLOAD
+
+    if status == STATUS_OVERLOAD:
+        return None  # refused before execution: state unchanged
+    if op == "put":
+        if status == STATUS_OK:
+            possible.clear()
+            possible.add(new_value)
+        elif status == STATUS_DEADLINE_EXCEEDED:
+            possible.add(new_value)
+        else:
+            return f"put -> {status}"
+    elif op == "delete":
+        if status == STATUS_OK:
+            if not any(v is not _ABSENT for v in possible):
+                return "delete -> OK on a surely-absent key"
+            possible.clear()
+            possible.add(_ABSENT)
+        elif status == STATUS_NOT_FOUND:
+            if _ABSENT not in possible:
+                return "delete -> NOT_FOUND on a surely-present key"
+            possible.clear()
+            possible.add(_ABSENT)
+        elif status == STATUS_DEADLINE_EXCEEDED:
+            possible.add(_ABSENT)
+        else:
+            return f"delete -> {status}"
+    else:  # get: read-only, so an unanswered one never forks the set
+        if status == STATUS_OK:
+            if value not in possible:
+                return f"get observed a value outside the possible set (len {len(value or b'')})"
+            possible.clear()
+            possible.add(value)
+        elif status == STATUS_NOT_FOUND:
+            if _ABSENT not in possible:
+                return "ghost get -> NOT_FOUND on a surely-present key"
+            possible.clear()
+            possible.add(_ABSENT)
+        elif status != STATUS_DEADLINE_EXCEEDED:
+            return f"get -> {status}"
+    return None
+
+
+def _kv_tenancy(scenario: Scenario):
+    """(TenantDirectory, client_tenants) for a qos scenario, else (None, ...)."""
+    from ..services import TenantDirectory, TenantSpec
+
+    workload = scenario.workload
+    if not workload.get("qos"):
+        return None, [0] * len(workload["scripts"])
+    specs = tuple(
+        TenantSpec(
+            tenant_id=int(tid),
+            weight=float(weight),
+            admit_rate_bytes_per_us=float(admit),
+            nic_quota_bytes_per_us=float(quota),
+        )
+        for tid, weight, admit, quota in workload["tenant_specs"]
+    )
+    return TenantDirectory(specs), [int(t) for t in workload["client_tenants"]]
+
 
 def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
     from ..experiments.chaos import CHAOS_RELIABILITY
+    from ..services import ClientRobustnessConfig, install_placement_quota
+    from ..services.kv import REPLY_MAILBOX_BASE, REQUEST_MAILBOX_BASE
+    from ..services.qos import QosConfig
 
     scripts = scenario.workload["scripts"]
     shards_per_node = int(scenario.workload.get("shards_per_node", 2))
     value_scale = int(scenario.workload.get("value_scale", 24))
+    directory, client_tenants = _kv_tenancy(scenario)
     cluster = Cluster.build(
         n_nodes=scenario.n_nodes,
         topology=scenario.topology,
@@ -286,40 +372,56 @@ def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
     scenario_span = cluster.sim.spans.begin("scenario", "kv", id=scenario.scenario_id)
 
     shard_map = ShardMap([0], shards_per_node=shards_per_node)
-    server = KvServer(cluster.nodes[0], shard_map).start()
+    if directory is not None:
+        for rank, tenant in enumerate(client_tenants):
+            directory.assign_node(1 + rank, tenant)
+        server = KvServer(
+            cluster.nodes[0], shard_map, qos=QosConfig(), tenants=directory
+        ).start()
+        install_placement_quota(
+            cluster.nodes[0], directory,
+            mailbox_lo=REQUEST_MAILBOX_BASE, mailbox_hi=REPLY_MAILBOX_BASE,
+        )
+        # max_retries=0: each frame is sent exactly once, so a request
+        # either executed once or not at all — the precise ambiguity the
+        # possible-state oracle models.  Retries would add duplicate-
+        # execution ambiguity without widening coverage.
+        robustness = ClientRobustnessConfig(
+            max_retries=0, default_deadline_ns=KV_OP_DEADLINE_NS
+        )
+    else:
+        server = KvServer(cluster.nodes[0], shard_map).start()
+        robustness = None
     failures: list = []
 
     def client_proc(rank: int, script):
-        client = KvClient(RvmaApi(cluster.nodes[1 + rank]), shard_map, index=rank)
+        client = KvClient(
+            RvmaApi(cluster.nodes[1 + rank]),
+            shard_map,
+            index=rank,
+            tenant_id=client_tenants[rank],
+            robustness=robustness,
+        )
         yield from client.open()
+        # Keys partitioned per client: each key's possible-state set is
+        # the exact linearization envelope for this client's namespace.
         model: dict = {}
         for step, (op, key_i, fill) in enumerate(script):
-            # Keys partitioned per client: the local model is the exact
-            # linearization for this client's namespace.
             key = b"c%d-k%d" % (rank, key_i)
+            possible = model.setdefault(key, {_ABSENT})
+            new_value = None
             if op == "put":
-                value = bytes([fill]) * (1 + fill % max(1, value_scale))
-                status = yield from client.put(key, value)
-                if status != STATUS_OK:
-                    failures.append(f"rank{rank} step{step}: put -> {status}")
-                else:
-                    model[key] = value
+                new_value = bytes([fill]) * (1 + fill % max(1, value_scale))
+                status = yield from client.put(key, new_value)
+                value = None
             elif op == "delete":
                 status = yield from client.delete(key)
-                want = STATUS_OK if key in model else STATUS_NOT_FOUND
-                if status != want:
-                    failures.append(f"rank{rank} step{step}: delete -> {status} want {want}")
-                model.pop(key, None)
+                value = None
             else:
                 status, value = yield from client.get(key)
-                if key in model:
-                    if (status, value) != (STATUS_OK, model[key]):
-                        failures.append(
-                            f"rank{rank} step{step}: get -> ({status}, len "
-                            f"{len(value or b'')}) want len {len(model[key])}"
-                        )
-                elif status != STATUS_NOT_FOUND:
-                    failures.append(f"rank{rank} step{step}: ghost get -> {status}")
+            problem = _apply_kv_step(op, status, value, new_value, possible)
+            if problem is not None:
+                failures.append(f"rank{rank} step{step}: {problem}")
 
     procs = [
         spawn(cluster.sim, client_proc(rank, script), f"fuzz-kv-{rank}")
@@ -344,10 +446,19 @@ def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
         components.append("stall")
     if failures:
         components.append("kv:linearizability")
-    counters = cluster.sim.stats.counters()
+    # Canonical (aggregated) names: the per-component flat counters are
+    # rvma<N>.puts_lost / rel<N>.rel_gave_up, so integrity must read
+    # through the registry, not sim.stats directly.
+    from ..observability import MetricsRegistry
+
+    counters = MetricsRegistry.collect(cluster.sim).counters
     if counters.get("transport.gave_up", 0):
         components.append("invariant:gave_up")
-    if counters.get("nic.rvma.puts_lost", 0) and scenario.reliability:
+    lost = counters.get("nic.rvma.puts_lost", 0)
+    # Quota rejects are reject-into-counter by design (terminal at the
+    # sender NIC, client deadline is the recovery path) — only losses
+    # beyond them indicate the transport actually dropped data.
+    if lost - counters.get("nic.rvma.puts_lost_quota", 0) > 0 and scenario.reliability:
         components.append("invariant:puts_lost")
     fp = FailureFingerprint.collect(components)
     cluster.sim.spans.end(scenario_span, completed=not fp)

@@ -26,9 +26,13 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
-#: Bump when the document layout changes incompatibly; the loader
-#: rejects documents from a different major schema.
-SCHEMA_VERSION = 1
+#: Bump when the document layout changes; the loader accepts every
+#: version in :data:`SUPPORTED_SCHEMAS` and preserves the document's
+#: own version on round-trip (so v1 corpus entries keep their identity).
+#: v2 added the optional tenant-mix dimension to kv workloads
+#: (``qos`` / ``tenant_specs`` / ``client_tenants``).
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMAS = (1, 2)
 
 #: Workload kinds the runner knows how to drive.
 MOTIF_KINDS = ("allreduce", "incast", "halo3d")
@@ -131,12 +135,13 @@ class Scenario:
         if not isinstance(doc, dict):
             raise ScenarioError("scenario document must be a JSON object")
         schema = doc.get("schema")
-        if schema != SCHEMA_VERSION:
+        if schema not in SUPPORTED_SCHEMAS:
             raise ScenarioError(
-                f"unsupported scenario schema {schema!r} (runner speaks {SCHEMA_VERSION})"
+                f"unsupported scenario schema {schema!r} (runner speaks {SUPPORTED_SCHEMAS})"
             )
         try:
             scenario = cls(
+                schema=int(schema),
                 seed=int(doc["seed"]),
                 workload_kind=str(doc["workload_kind"]),
                 workload=dict(doc["workload"]),
@@ -229,11 +234,50 @@ class Scenario:
                         raise ScenarioError(f"unknown kv op {op!r}")
                     if key_i < 0 or not 0 <= fill <= 255:
                         raise ScenarioError(f"malformed kv step {step!r}")
+            self._validate_kv_tenancy(scripts)
         for ev in self.fault_events:
             if ev.kind not in ("link_flap", "switch_failure", "partition", "crash_restart"):
                 raise ScenarioError(f"unknown fault kind {ev.kind!r}")
             if ev.end <= ev.start:
                 raise ScenarioError(f"fault event {ev.kind} has end <= start")
+
+    def _validate_kv_tenancy(self, scripts) -> None:
+        """The v2 tenant-mix keys (all optional, but consistent when used).
+
+        ``qos`` arms admission + weighted-fair service on the scenario's
+        KV server; ``tenant_specs`` rows are ``[tenant_id, weight,
+        admit_rate_bytes_per_us, nic_quota_bytes_per_us]``;
+        ``client_tenants`` assigns each script a tenant id.
+        """
+        qos = self.workload.get("qos", False)
+        specs = self.workload.get("tenant_specs")
+        client_tenants = self.workload.get("client_tenants")
+        if not (qos or specs is not None or client_tenants is not None):
+            return
+        if self.schema < 2:
+            raise ScenarioError("kv tenant-mix keys need scenario schema >= 2")
+        if not isinstance(qos, bool):
+            raise ScenarioError("kv workload 'qos' must be a boolean")
+        known = set()
+        for row in specs or ():
+            if not isinstance(row, (list, tuple)) or len(row) != 4:
+                raise ScenarioError(f"malformed tenant spec {row!r}")
+            tid, weight, admit_rate, nic_rate = row
+            if not 0 <= int(tid) <= 0xFFFF:
+                raise ScenarioError(f"tenant id {tid!r} does not fit the wire field")
+            if float(weight) <= 0:
+                raise ScenarioError(f"tenant {tid} needs a positive weight")
+            if float(admit_rate) < 0 or float(nic_rate) < 0:
+                raise ScenarioError(f"tenant {tid} rates must be >= 0")
+            known.add(int(tid))
+        if client_tenants is not None:
+            if len(client_tenants) != len(scripts):
+                raise ScenarioError("client_tenants must assign every kv script")
+            for tid in client_tenants:
+                if int(tid) not in known:
+                    raise ScenarioError(f"client tenant {tid} has no tenant spec")
+        if qos and not known:
+            raise ScenarioError("qos kv scenarios need tenant_specs")
 
     # ------------------------------------------------------------- shrinking aids
 

@@ -99,7 +99,12 @@ def _workload_candidates(scenario: Scenario) -> Iterator[tuple]:
     elif kind == "kv":
         scripts = [list(s) for s in w["scripts"]]
         if len(scripts) > 1:
-            yield {**w, "scripts": scripts[:-1]}, "drop last client"
+            dropped = {**w, "scripts": scripts[:-1]}
+            if "client_tenants" in w:
+                # Tenant assignments are positional per client (schema
+                # v2): keep them aligned with the surviving scripts.
+                dropped["client_tenants"] = list(w["client_tenants"])[:-1]
+            yield dropped, "drop last client"
         longest = max(range(len(scripts)), key=lambda i: len(scripts[i]))
         if len(scripts[longest]) > 1:
             trimmed = [list(s) for s in scripts]

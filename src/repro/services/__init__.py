@@ -6,6 +6,12 @@ keyspace hashes onto per-node request mailboxes, requests flow over
 receiver-managed streams, replies batch back to per-client completion
 mailboxes, and backpressure rides the existing ``flow_room`` /
 ``NO_BUFFER`` hold path of the reliability transport.
+
+Multi-tenant QoS (:mod:`repro.services.qos` /
+:mod:`repro.services.tenancy`, docs/QOS.md) layers isolation on top:
+tenant ids in the request framing, NIC placement quotas, token-bucket
+admission with p99-driven ``RC_OVERLOAD`` shedding, deficit-round-robin
+weighted-fair service, and client-side deadlines with backoff retries.
 """
 
 from .kv import (
@@ -17,14 +23,30 @@ from .kv import (
     node_of_client,
 )
 from .loadgen import LoadGenerator, LoadStats, WorkloadConfig, ZipfSampler
+from .qos import (
+    AdmissionController,
+    ClientRobustnessConfig,
+    DeficitRoundRobin,
+    QosConfig,
+    TokenBucket,
+)
+from .tenancy import (
+    PlacementQuota,
+    TenantDirectory,
+    TenantSpec,
+    install_placement_quota,
+)
 from .wire import (
+    DEFAULT_TENANT,
     OP_DELETE,
     OP_GET,
     OP_PUT,
     OP_SCAN,
+    STATUS_DEADLINE_EXCEEDED,
     STATUS_ERROR,
     STATUS_NOT_FOUND,
     STATUS_OK,
+    STATUS_OVERLOAD,
     KvReply,
     KvRequest,
     ReplyDecoder,
@@ -43,6 +65,15 @@ __all__ = [
     "LoadStats",
     "WorkloadConfig",
     "ZipfSampler",
+    "AdmissionController",
+    "ClientRobustnessConfig",
+    "DeficitRoundRobin",
+    "QosConfig",
+    "TokenBucket",
+    "PlacementQuota",
+    "TenantDirectory",
+    "TenantSpec",
+    "install_placement_quota",
     "KvReply",
     "KvRequest",
     "ReplyDecoder",
@@ -55,4 +86,7 @@ __all__ = [
     "STATUS_OK",
     "STATUS_NOT_FOUND",
     "STATUS_ERROR",
+    "STATUS_OVERLOAD",
+    "STATUS_DEADLINE_EXCEEDED",
+    "DEFAULT_TENANT",
 ]

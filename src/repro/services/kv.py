@@ -32,14 +32,19 @@ from ..core.status import RvmaStatus
 from ..network.routing import RoutingMode
 from ..nic.lut import BufferMode, EpochType
 from ..sim.process import spawn
+from .qos import AdmissionController, ClientRobustnessConfig, DeficitRoundRobin, QosConfig
 from .wire import (
+    DEFAULT_TENANT,
     OP_DELETE,
     OP_GET,
     OP_NAMES,
     OP_PUT,
     OP_SCAN,
+    REQ_HEADER_BYTES,
+    STATUS_DEADLINE_EXCEEDED,
     STATUS_NOT_FOUND,
     STATUS_OK,
+    STATUS_OVERLOAD,
     KvReply,
     KvRequest,
     ReplyDecoder,
@@ -127,21 +132,51 @@ class KvServerConfig:
     poll_interval_ns: float = 2000.0
     #: Max items returned per SCAN.
     scan_limit: int = 64
+    #: Modeled host CPU cost per executed request (+ per payload byte).
+    #: Zero (the default) keeps execution instantaneous — the historical
+    #: behaviour every event-identical test relies on; QoS cells set it
+    #: so the service has a finite capacity worth isolating.
+    service_ns_per_request: float = 0.0
+    service_ns_per_byte: float = 0.0
     reply_mailbox_base: int = REPLY_MAILBOX_BASE
 
 
 class KvServer:
-    """One node's shard servers: stream sweeps, stores, batched replies."""
+    """One node's shard servers: stream sweeps, stores, batched replies.
 
-    def __init__(self, node, shard_map: ShardMap, config: Optional[KvServerConfig] = None) -> None:
+    Pass a :class:`~repro.services.qos.QosConfig` (plus the cluster's
+    :class:`~repro.services.tenancy.TenantDirectory`) to arm multi-
+    tenant QoS: the sweep loop then admits each decoded request through
+    the tenant's token bucket (refusals reply ``RC_OVERLOAD``
+    immediately) and drains the admitted backlog in deficit-round-robin
+    order instead of FIFO.  Without a QoS config the sweep is the
+    original FIFO drain, event-for-event.
+    """
+
+    def __init__(
+        self,
+        node,
+        shard_map: ShardMap,
+        config: Optional[KvServerConfig] = None,
+        qos: Optional[QosConfig] = None,
+        tenants=None,
+    ) -> None:
         self.node = node
         self.api = RvmaApi(node)
         self.map = shard_map
         self.config = config or KvServerConfig()
+        self.qos = qos
+        self.tenants = tenants
+        if qos is not None and tenants is None:
+            raise ValueError("QoS needs the TenantDirectory that defines tenant policy")
+        self.admission = (
+            AdmissionController(node.sim, tenants, qos) if qos is not None else None
+        )
         self.shards = shard_map.shards_on(node.node_id)
         #: shard → key/value store (plain dict; durability is out of scope).
         self.stores: dict[int, dict[bytes, bytes]] = {s: {} for s in self.shards}
         self.streams: dict[int, StreamServer] = {}
+        self.schedulers: dict[int, DeficitRoundRobin] = {}
         self._stopped = False
         self._procs: list = []
         stats = node.sim.stats
@@ -193,6 +228,14 @@ class KvServer:
         yield from stream.open()
         decoder = RequestDecoder()
         store = self.stores[shard]
+        if self.qos is None:
+            yield from self._fifo_loop(shard, stream, decoder, store)
+        else:
+            yield from self._qos_loop(shard, stream, decoder, store)
+        yield from stream.close()
+
+    def _fifo_loop(self, shard: int, stream: StreamServer, decoder: RequestDecoder, store: dict) -> Generator:
+        cfg = self.config
         while not self._stopped:
             if stream.poll_ready():
                 data = yield from stream.recv()
@@ -216,12 +259,76 @@ class KvServer:
             if not requests:
                 continue
             yield from self._execute_batch(shard, store, requests)
-        yield from stream.close()
+
+    def _qos_loop(self, shard: int, stream: StreamServer, decoder: RequestDecoder, store: dict) -> Generator:
+        """Weighted-fair sweep: admit → per-tenant DRR queues → drain.
+
+        Work-conserving: the loop only sleeps when the stream is idle
+        *and* the scheduler is empty.  A sweep drains at most
+        ``QosConfig.sweep_budget_bytes`` of admitted requests, so one
+        tenant's burst cannot execute ahead of everyone for long —
+        whatever remains waits its DRR turn next sweep.
+        """
+        cfg = self.config
+        qos = self.qos
+        adm = self.admission
+        sched = self.schedulers[shard] = DeficitRoundRobin(qos.quantum_bytes)
+        spans = self.node.sim.spans
+        while not self._stopped:
+            data = b""
+            if stream.poll_ready():
+                data = yield from stream.recv()
+            elif sched.pending_items == 0 and self._stream_backlog(stream) > 0:
+                status = yield from stream.flush()
+                if status is RvmaStatus.SUCCESS:
+                    self._flushes.add()
+                    data = yield from stream.recv()
+            if data:
+                self._bytes_in.add(len(data))
+                now = self.node.sim.now
+                shed: dict[int, list[bytes]] = {}
+                for req in decoder.feed(data):
+                    cost = REQ_HEADER_BYTES + len(req.key) + len(req.value)
+                    if adm.admit(req.tenant, cost):
+                        sched.push(
+                            req.tenant, (req, cost, now), cost,
+                            weight=self.tenants.spec(req.tenant).weight,
+                        )
+                    else:
+                        # Refused at admission: a cheap RC_OVERLOAD reply
+                        # now beats a client timeout later.
+                        reply = KvReply(STATUS_OVERLOAD, req.req_id)
+                        shed.setdefault(req.client_id, []).append(reply.encode())
+                if shed:
+                    yield from self._put_replies(shed)
+            if sched.pending_items:
+                self._queue_depth.add(sched.pending_items)
+                sp = None
+                if spans.active and spans.wants("qos"):
+                    sp = spans.begin("qos", "drr_drain", shard=shard)
+                batch = sched.take(qos.sweep_budget_bytes)
+                now = self.node.sim.now
+                requests = []
+                for req, cost, enq_at in batch:
+                    adm.note_sojourn(now - enq_at)
+                    adm.note_served(req.tenant, cost)
+                    requests.append(req)
+                yield from self._execute_batch(shard, store, requests)
+                if sp is not None:
+                    spans.end(sp, served=len(batch), pending=sched.pending_items)
+            elif not data:
+                yield cfg.poll_interval_ns
 
     def _execute_batch(self, shard: int, store: dict, requests: list[KvRequest]) -> Generator:
         spans = self.node.sim.spans
+        cfg = self.config
         by_client: dict[int, list[bytes]] = {}
         for req in requests:
+            cost = cfg.service_ns_per_request + cfg.service_ns_per_byte * (
+                len(req.key) + len(req.value)
+            )
+            if cost > 0:
+                yield cost
             sp = None
             if spans.active and spans.wants("service"):
                 sp = spans.begin(
@@ -232,6 +339,9 @@ class KvServer:
                 spans.end(sp, status=reply.status)
             self._requests.add()
             by_client.setdefault(req.client_id, []).append(reply.encode())
+        yield from self._put_replies(by_client)
+
+    def _put_replies(self, by_client: dict[int, list[bytes]]) -> Generator:
         # Batched replies: one put per client per sweep, however many of
         # its requests this sweep decoded.
         for client_id, frames in sorted(by_client.items()):
@@ -292,6 +402,8 @@ class KvClient:
         max_reply_bytes: int = 8192,
         max_put_bytes: int = 4096,
         mode: RoutingMode = RoutingMode.STATIC,
+        tenant_id: int = DEFAULT_TENANT,
+        robustness: Optional[ClientRobustnessConfig] = None,
     ) -> None:
         self.api = api
         self.map = shard_map
@@ -305,13 +417,40 @@ class KvClient:
         self.reply_mailbox = reply_mailbox_base + self.client_id
         self.reply_slots = reply_slots
         self.max_reply_bytes = max_reply_bytes
+        #: Tenant stamped into every request frame this client issues.
+        self.tenant_id = tenant_id
+        #: When set, requests carry deadlines and time out → retry with
+        #: exponential backoff + jitter instead of blocking forever.
+        self.robustness = robustness
         self.reply_win = None
         self._streams: dict[int, StreamClient] = {}
         self._decoder = ReplyDecoder()
         self._replies: dict[int, tuple[KvReply, float]] = {}
+        #: req_ids awaiting a reply; frames for requests no longer here
+        #: (a retry's original arriving late) are dropped as stale.
+        self._outstanding: set[int] = set()
+        #: req_id → (shard, frame) kept while robust requests are in
+        #: flight, so a timeout can retransmit the identical frame.
+        self._frames: dict[int, tuple[int, bytes]] = {}
         self._next_req = 0
-        self._latency = api.sim.stats.histogram(
+        stats = api.sim.stats
+        self._latency = stats.histogram(
             "service.kv.request_latency_ns", lo=0.0, hi=LATENCY_HI_NS, nbins=LATENCY_NBINS
+        )
+        self._tenant_latency = (
+            stats.histogram(
+                f"service.kv.tenant.request_latency_ns.t{tenant_id}",
+                lo=0.0, hi=LATENCY_HI_NS, nbins=LATENCY_NBINS,
+            )
+            if tenant_id != DEFAULT_TENANT
+            else None
+        )
+        self._timeouts = stats.counter("service.kv.client.timeouts")
+        self._retries = stats.counter("service.kv.client.retries")
+        self._stale = stats.counter("service.kv.client.stale_replies")
+        self._tenant_retries = stats.counter(f"service.kv.tenant.retries.t{tenant_id}")
+        self._deadline_misses = stats.counter(
+            f"service.kv.tenant.deadline_misses.t{tenant_id}"
         )
 
     def open(self) -> Generator:
@@ -337,7 +476,10 @@ class KvClient:
     # ------------------------------------------------------------------ requests
 
     def execute_batch(
-        self, ops: list[tuple[int, bytes, bytes]], t0: Optional[float] = None
+        self,
+        ops: list[tuple[int, bytes, bytes]],
+        t0: Optional[float] = None,
+        deadline_ns: Optional[float] = None,
     ) -> Generator:
         """Issue *ops* (``(op, key, value)`` tuples) as pipelined frames.
 
@@ -345,29 +487,65 @@ class KvClient:
         replies in issue order.  *t0* overrides the latency-measurement
         start (open-loop generators pass the intended arrival time so
         queueing delay counts).
+
+        With :attr:`robustness` armed, every op also carries a deadline
+        of ``t0 + deadline_ns`` (default budget from the config): lost
+        or unanswered requests retransmit with exponential backoff +
+        jitter, and at the deadline resolve locally as
+        ``STATUS_DEADLINE_EXCEEDED`` — no op can stall forever.  The
+        deadline anchors at *t0*, so time an op spent queued before
+        issue (open-loop backlog) consumes its budget: deadline
+        propagation, not per-attempt reset.
         """
         start = self.api.sim.now if t0 is None else t0
+        robust = self.robustness
+        deadline = None
+        if robust is not None:
+            deadline = start + (
+                deadline_ns if deadline_ns is not None else robust.default_deadline_ns
+            )
+            if self.api.sim.now >= deadline:
+                # Budget burned before issue (sat too long in a backlog):
+                # resolve without wasting wire on frames nobody can wait for.
+                out = []
+                for op, _key, _value in ops:
+                    self._next_req += 1
+                    self._deadline_misses.add()
+                    out.append(KvReply(STATUS_DEADLINE_EXCEEDED, self._next_req))
+                return out
         by_shard: dict[int, list[bytes]] = {}
         req_ids: list[int] = []
         for op, key, value in ops:
             self._next_req += 1
             req_id = self._next_req
             req_ids.append(req_id)
-            frame = encode_request(op, self.client_id, req_id, key, value)
+            frame = encode_request(
+                op, self.client_id, req_id, key, value, tenant=self.tenant_id
+            )
             if len(frame) > self.max_put_bytes:
                 raise ValueError(
                     f"request frame of {len(frame)}B exceeds max_put_bytes="
                     f"{self.max_put_bytes} (would hold forever against flow_room)"
                 )
-            by_shard.setdefault(self.map.shard_of(key), []).append(frame)
+            shard = self.map.shard_of(key)
+            by_shard.setdefault(shard, []).append(frame)
+            self._outstanding.add(req_id)
+            if robust is not None:
+                self._frames[req_id] = (shard, frame)
         for shard in sorted(by_shard):
             for chunk in self._pack(by_shard[shard]):
                 put_op = yield from self._stream_to(shard).send(chunk)
                 yield put_op.local_done
         replies = []
         for req_id in req_ids:
-            reply, seen_at = yield from self._await_reply(req_id)
-            self._latency.add(seen_at - start)
+            if robust is None:
+                reply, seen_at = yield from self._await_reply(req_id)
+            else:
+                reply, seen_at = yield from self._await_reply_robust(req_id, deadline)
+            if reply.status != STATUS_DEADLINE_EXCEEDED:
+                self._latency.add(seen_at - start)
+                if self._tenant_latency is not None:
+                    self._tenant_latency.add(seen_at - start)
             replies.append(reply)
         return replies
 
@@ -386,15 +564,100 @@ class KvClient:
             puts.append(b"".join(cur))
         return puts
 
+    def _feed(self, data: bytes) -> None:
+        now = self.api.sim.now
+        for reply in self._decoder.feed(data):
+            if reply.req_id in self._outstanding:
+                self._replies[reply.req_id] = (reply, now)
+            else:
+                # A retry already won (or the deadline resolved this op):
+                # the late duplicate is counted and dropped.
+                self._stale.add()
+
+    def _take_reply(self, req_id: int) -> tuple[KvReply, float]:
+        self._outstanding.discard(req_id)
+        self._frames.pop(req_id, None)
+        return self._replies.pop(req_id)
+
     def _await_reply(self, req_id: int) -> Generator:
         while req_id not in self._replies:
             info = yield from self.api.wait_completion(self.reply_win)
             data = info.read_data()
             yield from self.api.post_buffer(self.reply_win, buffer=info.record.buffer)
+            self._feed(data)
+        return self._take_reply(req_id)
+
+    # ------------------------------------------------------------------ robustness
+
+    def _reply_ready(self) -> bool:
+        """Non-blocking completion check (StreamServer.poll_ready idiom)."""
+        try:
+            record = self.reply_win.next_unconsumed()
+        except IndexError:
+            return False
+        return self.api.node.memory.read_u64(record.notification_addr) != 0
+
+    def _drain_ready(self) -> Generator:
+        """Consume every visibly completed reply buffer; True if any."""
+        progressed = False
+        while self._reply_ready():
+            info = yield from self.api.wait_completion(self.reply_win)
+            data = info.read_data()
+            yield from self.api.post_buffer(self.reply_win, buffer=info.record.buffer)
+            self._feed(data)
+            progressed = True
+        return progressed
+
+    def _poll_until(self, req_id: int, until: float) -> Generator:
+        """Poll for *req_id*'s reply until sim-time *until*; True if seen."""
+        poll = self.robustness.poll_interval_ns
+        while True:
+            if req_id in self._replies:
+                return True
+            yield from self._drain_ready()
+            if req_id in self._replies:
+                return True
             now = self.api.sim.now
-            for reply in self._decoder.feed(data):
-                self._replies[reply.req_id] = (reply, now)
-        return self._replies.pop(req_id)
+            if now >= until:
+                return False
+            yield min(poll, until - now)
+
+    def _await_reply_robust(self, req_id: int, deadline: float) -> Generator:
+        """Wait with timeout → retransmit → backoff, bounded by *deadline*.
+
+        Timeouts double per retry up to the cap with deterministic
+        jitter (named ``kv.client.jitter`` stream — the reliability
+        layer's backoff idiom); every wait clamps to the deadline, and
+        reaching it resolves the op as ``STATUS_DEADLINE_EXCEEDED``.
+        """
+        cfg = self.robustness
+        rng = self.api.sim.rng
+        timeout = cfg.request_timeout_ns
+        attempt = 0
+        while True:
+            now = self.api.sim.now
+            if req_id in self._replies:
+                return self._take_reply(req_id)
+            if now >= deadline:
+                self._outstanding.discard(req_id)
+                self._frames.pop(req_id, None)
+                self._replies.pop(req_id, None)
+                self._deadline_misses.add()
+                return KvReply(STATUS_DEADLINE_EXCEEDED, req_id), now
+            jitter = 1.0 + cfg.jitter_frac * rng.random("kv.client.jitter")
+            got = yield from self._poll_until(req_id, min(now + timeout * jitter, deadline))
+            if got or self.api.sim.now >= deadline:
+                continue
+            self._timeouts.add()
+            if attempt < cfg.max_retries:
+                attempt += 1
+                self._retries.add()
+                self._tenant_retries.add()
+                shard, frame = self._frames[req_id]
+                put_op = yield from self._stream_to(shard).send(frame)
+                yield put_op.local_done
+                timeout = min(timeout * cfg.backoff_factor, cfg.max_backoff_ns)
+            # Retry budget spent: keep polling out the remaining deadline.
 
     def _one(self, op: int, key: bytes, value: bytes = b"") -> Generator:
         replies = yield from self.execute_batch([(op, key, value)])
@@ -427,7 +690,10 @@ class KvClient:
         for shard in range(self.map.n_shards):
             self._next_req += 1
             req_ids.append(self._next_req)
-            frame = encode_request(OP_SCAN, self.client_id, self._next_req, prefix)
+            self._outstanding.add(self._next_req)
+            frame = encode_request(
+                OP_SCAN, self.client_id, self._next_req, prefix, tenant=self.tenant_id
+            )
             put_op = yield from self._stream_to(shard).send(frame)
             yield put_op.local_done
         items: list[tuple[bytes, bytes]] = []

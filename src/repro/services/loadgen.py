@@ -31,7 +31,15 @@ from typing import Generator, Optional
 
 from ..sim.process import AllOf, spawn
 from .kv import KvClient
-from .wire import OP_DELETE, OP_GET, OP_PUT, STATUS_OK
+from .wire import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_OVERLOAD,
+)
 
 
 class ZipfSampler:
@@ -78,23 +86,50 @@ class WorkloadConfig:
     mean_interarrival_ns: float = 4000.0
     #: Idle-client poll interval for the open-loop work queue.
     worker_poll_ns: float = 500.0
+    #: Open-loop backlog cap: arrivals beyond this many queued ops are
+    #: dropped (and counted) instead of growing the deque without bound
+    #: — an overloaded open-loop run degrades, it does not eat memory.
+    max_backlog: int = 1024
+    #: Per-op deadline budget handed to robust clients (None = client
+    #: default; ignored by clients without a robustness config).
+    deadline_ns: Optional[float] = None
     rng_stream: str = "kv-load"
 
 
 @dataclass
 class LoadStats:
-    """What one workload run issued and observed."""
+    """What one workload run issued and observed.
+
+    Every issued op resolves into exactly one bucket: completed-ok,
+    failed, overload (RC_OVERLOAD reply), deadline-exceeded, or dropped
+    at the generator backlog — :meth:`all_resolved` is the no-op-stalls
+    liveness check the QoS experiments assert.
+    """
 
     ops_issued: int = 0
     ops_completed: int = 0
     ops_failed: int = 0
+    #: RC_OVERLOAD resolutions (shed by server admission control).
+    ops_overload: int = 0
+    #: Client-side deadline-exceeded resolutions.
+    ops_deadline: int = 0
+    #: Arrivals dropped at the open-loop backlog cap.
+    ops_dropped: int = 0
     by_op: dict = field(default_factory=dict)
 
-    def note(self, op: int, ok: bool) -> None:
+    def note(self, op: int, status: int) -> None:
         self.by_op[op] = self.by_op.get(op, 0) + 1
         self.ops_completed += 1
-        if not ok:
+        if status == STATUS_OVERLOAD:
+            self.ops_overload += 1
+        elif status == STATUS_DEADLINE_EXCEEDED:
+            self.ops_deadline += 1
+        elif not (status == STATUS_OK or (status == STATUS_NOT_FOUND and op != OP_PUT)):
             self.ops_failed += 1
+
+    def all_resolved(self) -> bool:
+        """True when every issued op reached a terminal resolution."""
+        return self.ops_issued == self.ops_completed + self.ops_dropped
 
 
 class LoadGenerator:
@@ -113,6 +148,7 @@ class LoadGenerator:
         self.config = config or WorkloadConfig()
         self.stats = LoadStats()
         self.sampler = ZipfSampler(self.config.n_keys, self.config.zipf_s)
+        self._dropped = sim.stats.counter("service.kv.client.backlog_dropped")
         self._seq = 0
 
     # ------------------------------------------------------------------ sampling
@@ -172,9 +208,11 @@ class LoadGenerator:
         while left > 0:
             batch = [self._sample_op() for _ in range(min(self.config.batch, left))]
             self.stats.ops_issued += len(batch)
-            replies = yield from client.execute_batch(batch)
+            replies = yield from client.execute_batch(
+                batch, deadline_ns=self.config.deadline_ns
+            )
             for (op, _k, _v), reply in zip(batch, replies):
-                self.stats.note(op, reply.status == STATUS_OK or op != OP_PUT)
+                self.stats.note(op, reply.status)
             left -= len(batch)
 
     def _run_open(self) -> Generator:
@@ -187,8 +225,14 @@ class LoadGenerator:
         ]
         for _ in range(cfg.n_ops):
             yield self._interarrival()
-            backlog.append((self._sample_op(), self.sim.now))
             self.stats.ops_issued += 1
+            if len(backlog) >= cfg.max_backlog:
+                # Offered load has outrun the pool for max_backlog ops:
+                # shed at the generator rather than queueing unboundedly.
+                self.stats.ops_dropped += 1
+                self._dropped.add()
+                continue
+            backlog.append((self._sample_op(), self.sim.now))
         done[0] = True
         yield AllOf([w.done_future for w in workers])
 
@@ -196,8 +240,10 @@ class LoadGenerator:
         while True:
             if backlog:
                 (op, key, value), arrived = backlog.popleft()
-                replies = yield from client.execute_batch([(op, key, value)], t0=arrived)
-                self.stats.note(op, replies[0].status == STATUS_OK or op != OP_PUT)
+                replies = yield from client.execute_batch(
+                    [(op, key, value)], t0=arrived, deadline_ns=self.config.deadline_ns
+                )
+                self.stats.note(op, replies[0].status)
             elif done[0]:
                 return
             else:

@@ -9,10 +9,15 @@ decoder discipline applies on the client side.
 
 Frames are little-endian structs:
 
-* request — ``op:u8 | client:u32 | req:u32 | key_len:u16 | val_len:u32``
-  followed by ``key`` then ``value`` bytes;
+* request — ``op:u8 | tenant:u16 | client:u32 | req:u32 | key_len:u16 |
+  val_len:u32`` followed by ``key`` then ``value`` bytes;
 * reply — ``status:u8 | req:u32 | payload_len:u32`` followed by the
   payload (the stored value for GET, a key/value listing for SCAN).
+
+The tenant id rides in every request frame so the server can meter,
+schedule and shed *before* touching the store — multi-tenant QoS
+(docs/QOS.md) keys everything off this field.  Tenant 0 is the default
+(untenanted) principal, so pre-QoS callers encode unchanged semantics.
 
 A client put always carries a whole number of request frames, and the
 reliability transport dispatches each put as a unit into the managed
@@ -34,8 +39,27 @@ OP_NAMES = {OP_GET: "get", OP_PUT: "put", OP_DELETE: "delete", OP_SCAN: "scan"}
 STATUS_OK = 0
 STATUS_NOT_FOUND = 1
 STATUS_ERROR = 2
+#: RC_OVERLOAD: the server refused the request at admission (tenant
+#: over its token-bucket rate, or p99-driven shedding active).  The
+#: request was *not* executed; clients may retry after backoff.
+STATUS_OVERLOAD = 3
+#: Client-synthesized status: the request's deadline expired before a
+#: reply arrived.  Never travels on the wire; whether the server
+#: executed the op is unknown (retries may have raced the original).
+STATUS_DEADLINE_EXCEEDED = 4
 
-_REQ_HEADER = struct.Struct("<BIIHI")
+STATUS_NAMES = {
+    STATUS_OK: "ok",
+    STATUS_NOT_FOUND: "not_found",
+    STATUS_ERROR: "error",
+    STATUS_OVERLOAD: "overload",
+    STATUS_DEADLINE_EXCEEDED: "deadline_exceeded",
+}
+
+#: Default tenant for untenanted callers (always admitted by default).
+DEFAULT_TENANT = 0
+
+_REQ_HEADER = struct.Struct("<BHIIHI")
 _REPLY_HEADER = struct.Struct("<BII")
 _SCAN_ITEM = struct.Struct("<HI")
 
@@ -56,9 +80,12 @@ class KvRequest:
     req_id: int
     key: bytes
     value: bytes = b""
+    tenant: int = DEFAULT_TENANT
 
     def encode(self) -> bytes:
-        return encode_request(self.op, self.client_id, self.req_id, self.key, self.value)
+        return encode_request(
+            self.op, self.client_id, self.req_id, self.key, self.value, tenant=self.tenant
+        )
 
 
 @dataclass(frozen=True)
@@ -73,12 +100,21 @@ class KvReply:
         return encode_reply(self.status, self.req_id, self.payload)
 
 
-def encode_request(op: int, client_id: int, req_id: int, key: bytes, value: bytes = b"") -> bytes:
+def encode_request(
+    op: int,
+    client_id: int,
+    req_id: int,
+    key: bytes,
+    value: bytes = b"",
+    tenant: int = DEFAULT_TENANT,
+) -> bytes:
     if op not in OP_NAMES:
         raise WireError(f"unknown op code {op}")
     if len(key) > 0xFFFF:
         raise WireError(f"key of {len(key)}B exceeds the u16 length field")
-    return _REQ_HEADER.pack(op, client_id, req_id, len(key), len(value)) + key + value
+    if not 0 <= tenant <= 0xFFFF:
+        raise WireError(f"tenant id {tenant} exceeds the u16 tenant field")
+    return _REQ_HEADER.pack(op, tenant, client_id, req_id, len(key), len(value)) + key + value
 
 
 def encode_reply(status: int, req_id: int, payload: bytes = b"") -> bytes:
@@ -135,7 +171,7 @@ class RequestDecoder(_FrameDecoder):
         out: list[KvRequest] = []
         buf = self._buf
         while len(buf) >= REQ_HEADER_BYTES:
-            op, client_id, req_id, key_len, val_len = _REQ_HEADER.unpack_from(buf)
+            op, tenant, client_id, req_id, key_len, val_len = _REQ_HEADER.unpack_from(buf)
             total = REQ_HEADER_BYTES + key_len + val_len
             if len(buf) < total:
                 break
@@ -144,7 +180,7 @@ class RequestDecoder(_FrameDecoder):
             key = bytes(buf[REQ_HEADER_BYTES : REQ_HEADER_BYTES + key_len])
             value = bytes(buf[REQ_HEADER_BYTES + key_len : total])
             del buf[:total]
-            out.append(KvRequest(op, client_id, req_id, key, value))
+            out.append(KvRequest(op, client_id, req_id, key, value, tenant))
         return out
 
 

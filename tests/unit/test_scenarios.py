@@ -125,6 +125,62 @@ def test_validation_rejects_malformed_kv_and_differential():
         Scenario(**{**diff, "workload": {"channels": [[9, 0, 1]]}}).validate()
 
 
+def _kv_v2_scenario(**overrides):
+    workload = {
+        "scripts": [[["put", 0, 10]], [["get", 1, 0]]],
+        "qos": True,
+        "tenant_specs": [[1, 4.0, 128.0, 0.0], [2, 1.0, 64.0, 256.0]],
+        "client_tenants": [1, 2],
+    }
+    workload.update(overrides.pop("workload", {}))
+    fields = dict(
+        seed=1, workload_kind="kv", topology="star", n_nodes=4,
+        workload=workload, reliability=True,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+def test_v1_documents_round_trip_with_their_own_schema():
+    # A v1 corpus entry must keep its schema (and thus its scenario_id)
+    # when reloaded by a v2-speaking runner.
+    doc = _motif_scenario().to_dict()
+    doc["schema"] = 1
+    v1 = Scenario.from_dict(doc)
+    assert v1.schema == 1
+    assert v1.to_dict()["schema"] == 1
+    assert Scenario.from_json(v1.to_json()) == v1
+
+
+def test_kv_tenant_mix_validates_and_round_trips():
+    s = _kv_v2_scenario()
+    s.validate()
+    assert Scenario.from_json(s.to_json()) == s
+
+
+@pytest.mark.parametrize(
+    "workload, match",
+    [
+        ({"qos": 1}, "must be a boolean"),
+        ({"tenant_specs": [[1, 4.0, 128.0]]}, "malformed tenant spec"),
+        ({"tenant_specs": [[1 << 16, 1.0, 0.0, 0.0]]}, "wire field"),
+        ({"tenant_specs": [[1, 0.0, 0.0, 0.0]]}, "positive weight"),
+        ({"tenant_specs": [[1, 1.0, -1.0, 0.0]]}, "rates must be"),
+        ({"client_tenants": [1]}, "every kv script"),
+        ({"client_tenants": [1, 9]}, "no tenant spec"),
+        ({"tenant_specs": [], "client_tenants": None}, "need tenant_specs"),
+    ],
+)
+def test_kv_tenant_mix_rejects_malformed_keys(workload, match):
+    with pytest.raises(ScenarioError, match=match):
+        _kv_v2_scenario(workload=workload).validate()
+
+
+def test_kv_tenant_mix_requires_schema_v2():
+    with pytest.raises(ScenarioError, match="schema >= 2"):
+        _kv_v2_scenario(schema=1).validate()
+
+
 def test_fault_event_row_round_trip_and_malformed_rows():
     ev = FaultEvent(kind="link_flap", start=10.0, end=20.0, params=(1, 2))
     assert FaultEvent.from_list(ev.to_list()) == ev

@@ -88,7 +88,7 @@ def test_wire_rejects_bad_frames():
         encode_request(OP_PUT, 0, 0, b"k" * 0x10001)
     dec = RequestDecoder()
     with pytest.raises(WireError):
-        dec.feed(bytes([99]) + b"\x00" * 14)  # complete header, bogus op
+        dec.feed(bytes([99]) + b"\x00" * 16)  # complete header, bogus op
 
 
 def test_scan_payload_roundtrip():
