@@ -261,21 +261,34 @@ def bench_incast(
     )
 
 
-def bench_halo3d(n_nodes: int, iterations: int, msg_bytes: int) -> BenchRecord:
-    """Ghost exchange on a 3-D grid (the paper's Halo3D motif)."""
+def bench_halo3d(
+    n_nodes: int,
+    iterations: int,
+    msg_bytes: int,
+    fidelity: str = "flow",
+    name: str = "halo3d",
+    topology: str = "dragonfly",
+) -> BenchRecord:
+    """Ghost exchange on a 3-D grid (the paper's Halo3D motif).
+
+    The ``halo3d`` cell runs at flow fidelity (the 8,192-node regime);
+    the ``halo3d-pkt`` cell reruns it at packet fidelity on a 3-D torus
+    — long multi-hop nearest-neighbor routes, the switching-heavy shape
+    that pins the vectorized packet fabric's throughput.
+    """
     from repro.cluster import Cluster
     from repro.motifs import Halo3D, RvmaProtocol
 
     cl = Cluster.build(
-        n_nodes=n_nodes, topology="dragonfly", nic_type="rvma",
-        fidelity="flow", seed=BENCH_SEED,
+        n_nodes=n_nodes, topology=topology, nic_type="rvma",
+        fidelity=fidelity, seed=BENCH_SEED,
     )
     motif = Halo3D(cl, RvmaProtocol(), iterations=iterations, msg_bytes=msg_bytes)
     t0 = time.perf_counter()
     result = motif.run()
     wall = time.perf_counter() - t0
     return BenchRecord(
-        name="halo3d",
+        name=name,
         wall_s=wall,
         events=cl.sim.events_executed,
         sim_ns=cl.sim.now,
@@ -321,7 +334,14 @@ def bench_allreduce(n_nodes: int, iterations: int, vector_len: int) -> BenchReco
 
 
 def bench_kv_incast(
-    n_client_nodes: int, clients_per_node: int, n_ops: int, batch: int
+    n_client_nodes: int,
+    clients_per_node: int,
+    n_ops: int,
+    batch: int,
+    fidelity: str = "flow",
+    name: str = "kv-incast",
+    value_bytes: int = 64,
+    topology: str = "dragonfly",
 ) -> BenchRecord:
     """The KV serving incast: many clients, one server node, Zipf keys.
 
@@ -330,7 +350,9 @@ def bench_kv_incast(
     carries the client-observed ``service.kv.request_latency_ns``
     p50/p99 lifted from the observability RunReport, so latency
     regressions on the service path show in the trajectory alongside
-    events/sec.
+    events/sec.  The ``kv-incast-pkt`` cell reruns the workload at
+    packet fidelity, covering the vectorized packet fabric under a
+    request/reply serving shape.
     """
     from repro.experiments.kv_churn import run_kv_service
     from repro.services import WorkloadConfig
@@ -342,24 +364,26 @@ def bench_kv_incast(
         shards_per_node=2,
         n_client_nodes=n_client_nodes,
         clients_per_node=clients_per_node,
-        workload=WorkloadConfig(n_ops=n_ops, zipf_s=0.9, batch=batch),
+        workload=WorkloadConfig(n_ops=n_ops, zipf_s=0.9, batch=batch, value_bytes=value_bytes),
         chaos=False,
         observe=True,
+        fidelity=fidelity,
+        topology=topology,
     )
     wall = time.perf_counter() - t0
     metrics = {}
     report = outcome.run_report
     if report is not None:
         service = report.metrics.get("service", {})
-        for name, value in service.items():
+        for metric_name, value in service.items():
             if isinstance(value, int):
-                metrics[name] = value
+                metrics[metric_name] = value
         hist = service.get("service.kv.request_latency_ns")
         if isinstance(hist, dict):
             metrics["service.kv.request_latency_ns.p50"] = hist.get("p50")
             metrics["service.kv.request_latency_ns.p99"] = hist.get("p99")
     return BenchRecord(
-        name="kv-incast",
+        name=name,
         wall_s=wall,
         events=outcome.events_executed,
         sim_ns=outcome.elapsed_ns,
@@ -458,8 +482,13 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
         ("engine-cancel", lambda: bench_engine_cancel(120_000)),
         ("incast", lambda: bench_incast(33, 8, 64 * 1024)),
         ("halo3d", lambda: bench_halo3d(64, 4, 16 * 1024)),
+        ("halo3d-pkt", lambda: bench_halo3d(
+            64, 4, 32 * 1024, fidelity="packet", name="halo3d-pkt", topology="torus3d")),
         ("allreduce", lambda: bench_allreduce(32, 6, 8)),
         ("kv-incast", lambda: bench_kv_incast(8, 2, 640, 4)),
+        ("kv-incast-pkt", lambda: bench_kv_incast(
+            8, 2, 320, 4, fidelity="packet", name="kv-incast-pkt",
+            value_bytes=1024, topology="torus3d")),
         ("kv-noisy", lambda: bench_kv_noisy(160, 800, 8)),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
@@ -468,8 +497,13 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
         ("engine-cancel", lambda: bench_engine_cancel(12_000)),
         ("incast", lambda: bench_incast(17, 4, 16 * 1024)),
         ("halo3d", lambda: bench_halo3d(27, 2, 4 * 1024)),
+        ("halo3d-pkt", lambda: bench_halo3d(
+            64, 2, 16 * 1024, fidelity="packet", name="halo3d-pkt", topology="torus3d")),
         ("allreduce", lambda: bench_allreduce(8, 3, 8)),
         ("kv-incast", lambda: bench_kv_incast(4, 2, 160, 4)),
+        ("kv-incast-pkt", lambda: bench_kv_incast(
+            4, 2, 240, 4, fidelity="packet", name="kv-incast-pkt",
+            value_bytes=1024, topology="torus3d")),
         ("kv-noisy", lambda: bench_kv_noisy(80, 320, 4)),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],

@@ -92,6 +92,7 @@ def run_kv_service(
     deadline_ns: float = 50_000_000.0,
     observe: bool = False,
     trace: bool = False,
+    fidelity: str = "flow",
 ) -> KvOutcome:
     """Run one seeded KV workload cell; returns its :class:`KvOutcome`.
 
@@ -103,7 +104,7 @@ def run_kv_service(
     workload = workload or WorkloadConfig()
     n_nodes = n_server_nodes + n_client_nodes
     cluster = Cluster.build(
-        n_nodes=n_nodes, topology=topology, nic_type="rvma", fidelity="flow",
+        n_nodes=n_nodes, topology=topology, nic_type="rvma", fidelity=fidelity,
         seed=seed, nic_config=RvmaNicConfig(reliability=CHAOS_RELIABILITY),
     )
     if chaos:

@@ -26,7 +26,12 @@ Link-flap and switch-failure windows match a delivery when the failed
 element lies on the *static* route between the endpoints — an
 approximation under adaptive routing (documented in
 ``docs/ARCHITECTURE.md``), chosen because deliveries do not retain
-their hop-by-hop channel list at flow fidelity.
+their hop-by-hop channel list at flow fidelity.  Those windows are
+also mirrored into the fabric's routing state
+(:meth:`repro.network.fabric.BaseFabric.set_link_state` /
+``set_switch_state``) so route and scorer caches are invalidated at
+each transition and *adaptive* selection stops scoring paths through
+the failed element while the window is open.
 """
 
 from __future__ import annotations
@@ -97,6 +102,9 @@ class FaultInjector:
         self.on_restart: list[Callable[[int], None]] = []
         #: static-route cache for link/switch window matching.
         self._route_cache: dict[tuple[int, int], list[int]] = {}
+        #: fabric route-state marks: (state, events, up_fn) per scheduled
+        #: down/up transition, so clear() can cancel and restore.
+        self._route_marks: list[tuple[dict, list, Callable[[], None]]] = []
         self._active = False
         self._installed_filter: Optional[Selector] = None
         self._prev_filter: Optional[Selector] = None
@@ -223,6 +231,12 @@ class FaultInjector:
 
         for start, end in windows:
             self.drop_window(start, end, crosses, kind="link_flap", label=f"link sw{u}<->sw{v}")
+            self._mark_route_element(
+                start,
+                end,
+                lambda: self.cluster.fabric.set_link_state(u, v, up=False),
+                lambda: self.cluster.fabric.set_link_state(u, v, up=True),
+            )
 
     def fail_switch(self, switch_id: int, start: float, end: float = math.inf) -> None:
         """Take a whole switch down during [start, end) (default: forever).
@@ -235,6 +249,12 @@ class FaultInjector:
             return switch_id in self._static_route(delivery.message.src, delivery.message.dst)
 
         self.drop_window(start, end, through, kind="switch_failure", label=f"sw{switch_id}")
+        self._mark_route_element(
+            start,
+            end,
+            lambda: self.cluster.fabric.set_switch_state(switch_id, up=False),
+            lambda: self.cluster.fabric.set_switch_state(switch_id, up=True),
+        )
 
     def partition(
         self, group: Iterable[int], start: float, end: float = math.inf
@@ -259,6 +279,48 @@ class FaultInjector:
                 topo.node_switch(src), topo.node_switch(dst)
             )
         return path
+
+    def _mark_route_element(
+        self,
+        start: float,
+        end: float,
+        down_fn: Callable[[], None],
+        up_fn: Callable[[], None],
+    ) -> None:
+        """Mirror a fault window into the fabric's routing state.
+
+        Before this existed the fabric kept scoring (and handing out)
+        paths through failed links and switches: its ``_scored_paths`` /
+        route caches bake ``_free_at`` channel handles in at build time
+        and nothing invalidated them across ``fail_switch`` /
+        ``flap_link``.  Marking the element down via
+        ``set_link_state`` / ``set_switch_state`` invalidates those
+        caches and steers *adaptive* routing around the element for the
+        duration of the window (static routing stays oblivious, matching
+        the drop-window semantics).  No-op on fabrics without route
+        state (e.g. bespoke test doubles)."""
+        fabric = getattr(self.cluster, "fabric", None)
+        if fabric is None or not hasattr(fabric, "set_switch_state"):
+            return
+        state = {"down": False, "up": False}
+
+        def apply_down() -> None:
+            state["down"] = True
+            down_fn()
+
+        def apply_up() -> None:
+            state["up"] = True
+            up_fn()
+
+        sim = self.sim
+        events: list = []
+        if start <= sim.now:
+            apply_down()
+        else:
+            events.append(sim.schedule_at(start, apply_down))
+        if not math.isinf(end):
+            events.append(sim.schedule_at(end, apply_up))
+        self._route_marks.append((state, events, up_fn))
 
     # --- filter installation ----------------------------------------------------------
 
@@ -327,6 +389,12 @@ class FaultInjector:
         self._corrupt_selector = None
         self._windows.clear()
         self._active = False
+        for state, events, up_fn in self._route_marks:
+            for ev in events:
+                ev.cancel()
+            if state["down"] and not state["up"]:
+                up_fn()  # restore an element we left marked down
+        self._route_marks.clear()
         fabric = self.cluster.fabric
         if self._installed_filter is not None and fabric.fault_filter is self._installed_filter:
             fabric.fault_filter = self._prev_filter

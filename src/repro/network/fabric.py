@@ -58,10 +58,16 @@ class BaseFabric(Component):
         #: (src, dst) -> (static_chans, static_hops, ((chans, penalty, hops), ...))
         #: — topology routes are immutable, so cache them per pair.
         self._route_cache: dict[tuple[int, int], tuple] = {}
-        #: (src, dst) -> (static_path, candidate_paths) switch lists;
-        #: the packet fabric routes per packet, and recomputing
+        #: (src, dst) -> (static_path, candidate_paths, allowed) switch
+        #: lists; the packet fabric routes per packet, and recomputing
         #: Valiant/derouted candidates per packet dominated its profile.
         self._paths_cache: dict[tuple[int, int], tuple] = {}
+        #: fault-state marks pushed by the fault injector: element ->
+        #: outstanding down-window count.  Counters (not booleans) so
+        #: overlapping windows on the same element compose; an element
+        #: is avoided while its count is positive.
+        self._down_switches: dict[int, int] = {}
+        self._down_links: dict[frozenset, int] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
         #: Optional fault hook: called with each Delivery just before it
@@ -164,6 +170,76 @@ class BaseFabric(Component):
             return self.config.injection_latency
         return self.config.hop_latency + self.config.switch_latency
 
+    # --- fault-aware route state -------------------------------------------------
+
+    def set_switch_state(self, switch_id: int, up: bool) -> None:
+        """Mark a switch down (``up=False``) or back up for routing.
+
+        Called by the fault injector at window boundaries.  Adaptive
+        selection avoids candidates crossing a down element (static
+        routing stays oblivious, matching the drop-window semantics:
+        a static route through a dead element is simply dropped).
+        Every transition invalidates the route caches — cached scorer
+        handles and allowed-candidate sets would otherwise go stale.
+        """
+        counts = self._down_switches
+        if up:
+            n = counts.get(switch_id, 0) - 1
+            if n <= 0:
+                counts.pop(switch_id, None)
+            else:
+                counts[switch_id] = n
+        else:
+            counts[switch_id] = counts.get(switch_id, 0) + 1
+        self._invalidate_route_caches()
+
+    def set_link_state(self, u: int, v: int, up: bool) -> None:
+        """Mark the switch link u<->v down or back up for routing."""
+        edge = frozenset((u, v))
+        counts = self._down_links
+        if up:
+            n = counts.get(edge, 0) - 1
+            if n <= 0:
+                counts.pop(edge, None)
+            else:
+                counts[edge] = n
+        else:
+            counts[edge] = counts.get(edge, 0) + 1
+        self._invalidate_route_caches()
+
+    def _invalidate_route_caches(self) -> None:
+        """Drop every cached route/score structure (fault transitions)."""
+        self._route_cache.clear()
+        self._paths_cache.clear()
+
+    def _path_blocked(self, path_switches: list[int]) -> bool:
+        """Does *path_switches* traverse a currently-down element?"""
+        down_sw = self._down_switches
+        if down_sw:
+            for s in path_switches:
+                if s in down_sw:
+                    return True
+        down_ln = self._down_links
+        if down_ln:
+            for e in zip(path_switches, path_switches[1:]):
+                if frozenset(e) in down_ln:
+                    return True
+        return False
+
+    def _allowed_candidates(self, paths) -> tuple:
+        """Indices of candidates not crossing a down element.
+
+        Falls back to *all* candidates when every path is blocked
+        (no live alternative exists — traffic then takes its normal
+        route and the drop window decides its fate).
+        """
+        if not self._down_switches and not self._down_links:
+            return tuple(range(len(paths)))
+        allowed = tuple(
+            i for i, p in enumerate(paths) if not self._path_blocked(p)
+        )
+        return allowed or tuple(range(len(paths)))
+
     # --- routing ----------------------------------------------------------------
 
     def _path_backlog(self, path_switches: list[int], src: int, dst: int) -> float:
@@ -177,29 +253,43 @@ class BaseFabric(Component):
         return backlog + len(path_switches) * self.config.hop_latency
 
     def _pair_paths(self, src: int, dst: int) -> tuple:
-        """Cached (static_path, candidate_paths) for a node pair.
+        """Cached (static_path, candidate_paths, allowed) for a node pair.
 
         Topology routes are pure functions of the immutable topology;
         callers must not mutate the returned lists (choose_path copies
-        the winning path before handing it out).
+        the winning path before handing it out).  ``allowed`` is the
+        fault-filtered candidate index tuple, baked in at build time —
+        the cache is invalidated on every fault transition, so it never
+        goes stale.
         """
         key = (src, dst)
         cached = self._paths_cache.get(key)
         if cached is None:
             s_sw = self.topology.node_switch(src)
             d_sw = self.topology.node_switch(dst)
+            cands = self.topology.candidate_paths(s_sw, d_sw)
             cached = (
                 self.topology.static_path(s_sw, d_sw),
-                self.topology.candidate_paths(s_sw, d_sw),
+                cands,
+                self._allowed_candidates(cands),
             )
             self._paths_cache[key] = cached
         return cached
 
     def select_path(self, src: int, dst: int, mode: RoutingMode) -> PathChoice:
         """Pick a switch path per the routing mode (load-aware when adaptive)."""
-        static_path, cands = self._pair_paths(src, dst)
+        static_path, cands, allowed = self._pair_paths(src, dst)
         if mode is RoutingMode.STATIC:
             return PathChoice(list(static_path), 0)
+        if len(allowed) != len(cands):
+            sub = [cands[i] for i in allowed]
+            ch = choose_path(
+                sub,
+                mode,
+                load_fn=lambda p: self._path_backlog(p, src, dst),
+                rng_pick=lambda n: self.sim.rng.choice(f"{self.name}.route", n),
+            )
+            return PathChoice(ch.path, allowed[ch.index])
         return choose_path(
             cands,
             mode,
@@ -217,11 +307,12 @@ class BaseFabric(Component):
             static_path = self.topology.static_path(s_sw, d_sw)
             static = (tuple(self.channels_for(static_path, src, dst)), len(static_path))
             hop = self.config.hop_latency
+            paths = self.topology.candidate_paths(s_sw, d_sw)
             cands = tuple(
                 (tuple(self.channels_for(p, src, dst)), len(p) * hop, len(p))
-                for p in self.topology.candidate_paths(s_sw, d_sw)
+                for p in paths
             )
-            cached = (static, cands)
+            cached = (static, cands, self._allowed_candidates(paths))
             self._route_cache[key] = cached
         return cached
 
@@ -273,7 +364,7 @@ class FlowFabric(BaseFabric):
         """Send a whole message with virtual-cut-through channel reservation."""
         mode = mode or self.config.routing
         msg = self._mk_message(src, dst, size, header, data)
-        (static_chans, static_hops), cands = self._pair_routes(src, dst)
+        (static_chans, static_hops), cands, allowed = self._pair_routes(src, dst)
         free = self.free_at
         now = self.sim.now
         if mode is RoutingMode.STATIC:
@@ -284,8 +375,15 @@ class FlowFabric(BaseFabric):
         else:
             # UGAL-ish scoring, identical to routing.choose_path: queued
             # backlog plus a hop penalty, randomized among the near-best.
+            # Candidates crossing a faulted element are filtered out
+            # up front (``allowed`` is all of them when no fault is live).
+            remap = None
+            use = cands
+            if len(allowed) != len(cands):
+                remap = allowed
+                use = [cands[i] for i in allowed]
             scores = []
-            for cand_chans, penalty, _hops in cands:
+            for cand_chans, penalty, _hops in use:
                 backlog = penalty
                 for ch in cand_chans:
                     wait = free[ch] - now
@@ -299,7 +397,9 @@ class FlowFabric(BaseFabric):
                 idx = near[0]
             else:
                 idx = near[int(self._route_rng.integers(0, len(near)))]
-            chans, _pen, hops = cands[idx]
+            chans, _pen, hops = use[idx]
+            if remap is not None:
+                idx = remap[idx]
 
         # msg.wire_size, inlined (two property hops per send add up).
         n_pkts = -(-size // MTU) if size else 1

@@ -54,23 +54,23 @@ class Message:
         return max(1, -(-self.size // MTU))
 
     def fragment(self) -> list["Packet"]:
-        """Split into MTU-sized packets, preserving payload slices."""
+        """Split into MTU-sized packets, preserving payload slices.
+
+        On the fabric hot path every message is fragmented exactly once,
+        so the single-packet case short-circuits and the loop builds
+        ``Packet`` records positionally.
+        """
+        size = self.size
+        data = self.data
+        if size <= MTU:
+            return [Packet(self, 0, 0, max(size, 0), data or b"", True)]
         pkts: list[Packet] = []
-        n = self.num_packets
-        for seq in range(n):
+        last = self.num_packets - 1
+        for seq in range(last + 1):
             off = seq * MTU
-            size = min(MTU, self.size - off) if self.size else 0
-            data = self.data[off : off + size] if self.data else b""
-            pkts.append(
-                Packet(
-                    message=self,
-                    seq=seq,
-                    offset=off,
-                    size=max(size, 0),
-                    data=data,
-                    is_last=(seq == n - 1),
-                )
-            )
+            psize = MTU if off + MTU <= size else size - off
+            pdata = data[off : off + psize] if data else b""
+            pkts.append(Packet(self, seq, off, psize, pdata, seq == last))
         return pkts
 
 

@@ -7,6 +7,23 @@ independently.  Under adaptive routing each packet may take a different
 candidate path, producing genuine out-of-order arrival — the phenomenon
 that breaks RDMA last-byte polling (paper §II, §IV-D).
 
+Two execution paths share one timing model:
+
+* **Plain** (``Simulator(fast=False)``) — the reference oracle: every
+  packet is a :class:`RoutedPacket` hopping through real ``Switch``
+  components over real links, one engine event per wire arrival and
+  one per crossbar traversal.
+* **Fast** (``fast=True``) — vectorized: per-packet state lives in
+  struct-of-arrays slot arrays on the fabric, routes are precompiled
+  into per-hop step records, and packets due to advance at the same
+  simulated instant are grouped into *one* engine event per
+  link-timestep (``_advance_batch``) instead of two events per hop per
+  packet.  Both paths read and write the same ``SerializingLink``
+  ``_free_at`` horizons and the same ``Switch.packets_forwarded``
+  counters with the same float arithmetic in the same order, so
+  delivery bytes, timing, ``fabric.*`` metrics and span streams are
+  identical between modes (asserted by the fabric conformance suite).
+
 Used at small scale (validation, microbenchmarks, integrity tests);
 the flow fabric covers the 8,192-node motif runs.
 """
@@ -18,10 +35,11 @@ from typing import Any, Optional
 
 from ..sim.component import Component
 from ..sim.engine import Simulator
+from ..sim.event import PRIORITY_HIGH
 from ..sim.link import SerializingLink
 from .config import NetworkConfig
 from .fabric import BaseFabric
-from .message import Delivery, DeliveryInfo, Message, Packet
+from .message import Delivery, DeliveryInfo, Message, Packet, PACKET_HEADER_BYTES
 from .routing import PathChoice, RoutingMode, choose_path
 from .topology.base import Topology
 
@@ -133,15 +151,54 @@ class PacketFabric(BaseFabric):
         self.packets_delivered = 0
         #: open per-message flight spans: id(msg) -> [span, packets_left]
         self._msg_spans: dict[int, list] = {}
-        #: (src, dst) -> (static_path, cands, scorers); scorers hold the
-        #: serializing-link free_at dicts along each candidate so
-        #: per-packet adaptive scoring skips the port/dict traversal.
+        #: (src, dst) -> (static_path, cands, scorers, allowed); scorers
+        #: hold the serializing-link free_at dicts along each candidate
+        #: so per-packet adaptive scoring skips the port/dict traversal.
         self._scored_paths: dict[tuple[int, int], tuple] = {}
+
+        # --- fast-path state (struct-of-arrays over in-flight packets) ---
+        # One slot per in-flight packet; slots are recycled through
+        # ``_fp_free``.  A *step* is one transmission performed by the
+        # switch at route[i]: ``(switch, link_free_at_dict, port_key,
+        # inv_bw, latency, link)`` — everything ``_advance_batch`` needs
+        # without touching a Port or Component.
+        self._fp_pkt: list = []            # Packet per slot
+        self._fp_steps: list = []          # per-slot step tuple (len == hops)
+        self._fp_hop: list = []            # index of the next step to run
+        self._fp_wire: list = []           # wire bytes (payload + header)
+        self._fp_dsw: list = []            # crossbar delay for this wire size
+        self._fp_pidx: list = []           # chosen candidate index
+        self._fp_free: list = []           # recycled slot indices
+        #: packets due to advance at the same instant share one engine
+        #: event: time -> [slot, ...] (one list per pending batch).
+        self._fwd_due: dict[float, list] = {}
+        self._del_due: dict[float, list] = {}
+        #: (src, dst) -> (static_steps, cand_steps): routes precompiled
+        #: to step records; invalidated with the other route caches.
+        self._fast_routes: dict[tuple[int, int], tuple] = {}
+        #: per-node injection handles: (free_at, port_key, inv_bw,
+        #: latency, link) — the injection half of a step record.
+        self._inj_fast = []
+        for ep in self.endpoints:
+            link = ep.inj_port.link
+            self._inj_fast.append(
+                (link._free_at, id(ep.inj_port), link._inv_bw, link.latency, link)
+            )
 
     def observable_metrics(self) -> dict[str, int]:
         metrics = super().observable_metrics()
         metrics["fabric.packets_delivered"] = self.packets_delivered
         return metrics
+
+    def _invalidate_route_caches(self) -> None:
+        """Fault transition: also drop the per-packet scorer and the
+        precompiled fast-path step caches (their ``allowed`` sets and
+        link handles bake in the route state at build time)."""
+        super()._invalidate_route_caches()
+        self._scored_paths.clear()
+        self._fast_routes.clear()
+
+    # --- sending -----------------------------------------------------------------
 
     def send(
         self,
@@ -154,14 +211,13 @@ class PacketFabric(BaseFabric):
     ) -> Message:
         """Fragment into MTU packets, source-routing each independently."""
         mode = mode or self.config.routing
+        if self.sim.fast:
+            return self._send_fast(src, dst, size, header, data, mode)
         msg = self._mk_message(src, dst, size, header, data)
         n_pkts = 0
         for pkt in msg.fragment():
             choice = self.select_path(src, dst, mode)
             env = RoutedPacket(packet=pkt, route=choice.path, hop=0, path_index=choice.index)
-            if len(choice.path) == 1 and src != dst:
-                # src and dst share a switch: still one switch traversal.
-                pass
             self.endpoints[src].inj_port.send(env, pkt.wire_size)
             n_pkts += 1
         spans = self.sim.spans
@@ -171,45 +227,293 @@ class PacketFabric(BaseFabric):
                 self._msg_spans[id(msg)] = [sp, n_pkts]
         return msg
 
+    def _send_fast(
+        self, src: int, dst: int, size: int, header: Any, data: bytes, mode: RoutingMode
+    ) -> Message:
+        """Vectorized send: inline the injection transmit and enqueue
+        each packet's first crossbar traversal into a shared batch.
+
+        Per packet this does exactly the reference arithmetic —
+        ``start = max(free_at, now); tail = start + wire*inv_bw;
+        first_forward = (tail + latency) + (switch_latency +
+        wire/crossbar_bw)`` — without creating the endpoint/link/switch
+        event chain.  Path selection happens *before* the injection
+        horizon is bumped, in the same order as the reference loop, so
+        adaptive scoring and rng draws are identical.
+        """
+        msg = self._mk_message(src, dst, size, header, data)
+        sim = self.sim
+        now = sim.now
+        cfg = self.config
+        sw_lat = cfg.switch_latency
+        xbar_bw = cfg.crossbar_bw
+        inj_free, inj_key, inj_inv, inj_lat, inj_link = self._inj_fast[src]
+        routes = self._fast_routes.get((src, dst))
+        if routes is None:
+            routes = self._build_fast_routes(src, dst)
+        static_steps, cand_steps = routes
+        if mode is RoutingMode.STATIC:
+            fixed_steps = static_steps
+        elif len(cand_steps) == 1:
+            # Single candidate: the reference choose_path shortcuts
+            # without an rng draw; mirror that exactly.
+            fixed_steps = cand_steps[0]
+        else:
+            fixed_steps = None
+            entry = self._scored_paths.get((src, dst))
+            if entry is None:
+                entry = self._build_scorers(src, dst)
+            _static, cands, scorers, allowed = entry
+            if len(allowed) != len(cands):
+                use_scorers = [scorers[i] for i in allowed]
+                remap = allowed
+            else:
+                use_scorers = scorers
+                remap = None
+            route_rng = self._route_rng
+
+        pkts = self._fp_pkt
+        steps_arr = self._fp_steps
+        hops_arr = self._fp_hop
+        wire_arr = self._fp_wire
+        dsw_arr = self._fp_dsw
+        pidx_arr = self._fp_pidx
+        free_slots = self._fp_free
+        due = self._fwd_due
+
+        n_pkts = 0
+        for pkt in msg.fragment():
+            if fixed_steps is not None:
+                steps = fixed_steps
+                pidx = 0
+            else:
+                # Inline adaptive selection: identical scoring math,
+                # near-best tie-break and rng draw discipline as
+                # select_path/choose_path (choice over one candidate
+                # never draws), minus the PathChoice/path-copy
+                # allocations — only the index is needed here.
+                scores = []
+                for chans, base in use_scorers:
+                    for free_at, pid in chans:
+                        t = free_at[pid]
+                        if t > now:
+                            base += t - now
+                    scores.append(base)
+                best = min(scores)
+                slack = best * 0.05 if best * 0.05 > 1.0 else 1.0
+                near = [i for i, sc in enumerate(scores) if sc <= best + slack]
+                if len(near) == 1:
+                    pidx = near[0]
+                else:
+                    pidx = near[int(route_rng.integers(0, len(near)))]
+                if remap is not None:
+                    pidx = remap[pidx]
+                steps = cand_steps[pidx]
+            w = pkt.size + PACKET_HEADER_BYTES
+            # Injection transmit (same math as SerializingLink.transmit).
+            start = inj_free[inj_key]
+            if now > start:
+                start = now
+            tail = start + w * inj_inv
+            inj_free[inj_key] = tail
+            inj_link.bytes_carried += w
+            dsw = sw_lat + w / xbar_bw
+            if free_slots:
+                slot = free_slots.pop()
+                pkts[slot] = pkt
+                steps_arr[slot] = steps
+                hops_arr[slot] = 0
+                wire_arr[slot] = w
+                dsw_arr[slot] = dsw
+                pidx_arr[slot] = pidx
+            else:
+                slot = len(pkts)
+                pkts.append(pkt)
+                steps_arr.append(steps)
+                hops_arr.append(0)
+                wire_arr.append(w)
+                dsw_arr.append(dsw)
+                pidx_arr.append(pidx)
+            t_fwd = (tail + inj_lat) + dsw
+            batch = due.get(t_fwd)
+            if batch is None:
+                due[t_fwd] = [slot]
+                sim.post_at(t_fwd, self._advance_batch, t_fwd)
+            else:
+                batch.append(slot)
+            n_pkts += 1
+        spans = sim.spans
+        if spans.active and spans.wants("fabric"):
+            sp = spans.begin("fabric", "msg_flight", src=src, dst=dst, size=size, packets=n_pkts)
+            if sp is not None:
+                self._msg_spans[id(msg)] = [sp, n_pkts]
+        return msg
+
+    def _build_fast_routes(self, src: int, dst: int) -> tuple:
+        """Precompile every candidate route into per-hop step records."""
+        static_path, cands, _allowed = self._pair_paths(src, dst)
+        entry = (
+            self._compile_steps(static_path, dst),
+            tuple(self._compile_steps(p, dst) for p in cands),
+        )
+        self._fast_routes[(src, dst)] = entry
+        return entry
+
+    def _compile_steps(self, path: list, dst: int) -> tuple:
+        """Step records for one switch path: route[i]'s transmission."""
+        steps = []
+        last = len(path) - 1
+        for i, u in enumerate(path):
+            sw = self.switches[u]
+            port = sw.to_switch[path[i + 1]] if i < last else sw.to_node[dst]
+            link = port.link
+            steps.append((sw, link._free_at, id(port), link._inv_bw, link.latency, link))
+        return tuple(steps)
+
+    def _advance_batch(self, when: float) -> None:
+        """Run every forward due at *when*: one engine event for the
+        whole link-timestep batch.
+
+        Each slot performs what the reference does in ``Switch._forward``
+        plus the downstream link transmit: bump the forwarding switch's
+        counter, serialize onto the next cable, then either enqueue the
+        next crossbar traversal or hand the packet to the delivery batch
+        at its ejection-arrival time.
+        """
+        slots = self._fwd_due.pop(when)
+        sim = self.sim
+        post_at = sim.post_at
+        steps_arr = self._fp_steps
+        hops_arr = self._fp_hop
+        wire_arr = self._fp_wire
+        dsw_arr = self._fp_dsw
+        fwd_due = self._fwd_due
+        del_due = self._del_due
+        for slot in slots:
+            steps = steps_arr[slot]
+            hop = hops_arr[slot]
+            sw, free, key, inv_bw, lat, link = steps[hop]
+            sw.packets_forwarded += 1
+            w = wire_arr[slot]
+            start = free[key]
+            if when > start:
+                start = when
+            tail = start + w * inv_bw
+            free[key] = tail
+            link.bytes_carried += w
+            arrive = tail + lat
+            hop += 1
+            if hop < len(steps):
+                hops_arr[slot] = hop
+                t_fwd = arrive + dsw_arr[slot]
+                batch = fwd_due.get(t_fwd)
+                if batch is None:
+                    fwd_due[t_fwd] = [slot]
+                    post_at(t_fwd, self._advance_batch, t_fwd)
+                else:
+                    batch.append(slot)
+            else:
+                batch = del_due.get(arrive)
+                if batch is None:
+                    del_due[arrive] = [slot]
+                    post_at(arrive, self._deliver_batch, arrive, priority=PRIORITY_HIGH)
+                else:
+                    batch.append(slot)
+
+    def _deliver_batch(self, when: float) -> None:
+        """Deliver every packet whose ejection completes at *when*.
+
+        Mirrors ``_on_packet_arrival`` per slot (counter, span
+        bookkeeping, DeliveryInfo) and recycles the slot.  Runs at
+        PRIORITY_HIGH like the reference ejection-link delivery.
+        """
+        slots = self._del_due.pop(when)
+        pkts = self._fp_pkt
+        steps_arr = self._fp_steps
+        pidx_arr = self._fp_pidx
+        spans = self.sim.spans
+        msg_spans = self._msg_spans
+        free_slots = self._fp_free
+        deliver = self._deliver
+        for slot in slots:
+            pkt = pkts[slot]
+            msg = pkt.message
+            self.packets_delivered += 1
+            entry = msg_spans.get(id(msg))
+            if entry is not None:
+                entry[1] -= 1
+                if entry[1] <= 0:
+                    spans.end(entry[0])
+                    del msg_spans[id(msg)]
+            info = DeliveryInfo(
+                send_time=msg.send_time,
+                arrival_time=when,
+                hops=len(steps_arr[slot]),
+                path_index=pidx_arr[slot],
+            )
+            pkts[slot] = None
+            steps_arr[slot] = None
+            free_slots.append(slot)
+            deliver(msg.dst, Delivery(msg, info, packet=pkt))
+
+    # --- routing -----------------------------------------------------------------
+
+    def _build_scorers(self, src: int, dst: int) -> tuple:
+        """Build and cache the per-pair scorer entry: candidate paths
+        plus the serializing-link ``_free_at`` handles along each one,
+        so per-packet adaptive scoring is dict lookups only."""
+        static_path, cands, allowed = self._pair_paths(src, dst)
+        ep = self.endpoints[src]
+        inj = (ep.inj_port.link._free_at, id(ep.inj_port))
+        scorers = []
+        for path in cands:
+            chans = [inj]
+            for u, v in zip(path, path[1:]):
+                port = self.switches[u].to_switch[v]
+                chans.append((port.link._free_at, id(port)))
+            scorers.append((chans, len(path) * self.config.hop_latency))
+        entry = (static_path, cands, scorers, allowed)
+        self._scored_paths[(src, dst)] = entry
+        return entry
+
     def select_path(self, src: int, dst: int, mode: RoutingMode) -> PathChoice:
         """Load-aware path choice, scored from cached channel handles.
 
         Semantically identical to the BaseFabric version (same UGAL
-        scoring, same rng stream, same near-best tie-break) — only the
-        per-packet port/dict traversal is hoisted into a one-time cache.
+        scoring, same rng stream, same near-best tie-break, same
+        fault-window candidate filtering) — only the per-packet
+        port/dict traversal is hoisted into a one-time cache.
         """
-        key = (src, dst)
-        entry = self._scored_paths.get(key)
+        entry = self._scored_paths.get((src, dst))
         if entry is None:
-            static_path, cands = self._pair_paths(src, dst)
-            ep = self.endpoints[src]
-            inj = (ep.inj_port.link._free_at, id(ep.inj_port))
-            scorers = []
-            for path in cands:
-                chans = [inj]
-                for u, v in zip(path, path[1:]):
-                    port = self.switches[u].to_switch[v]
-                    chans.append((port.link._free_at, id(port)))
-                scorers.append((chans, len(path) * self.config.hop_latency))
-            entry = (static_path, cands, scorers)
-            self._scored_paths[key] = entry
-        static_path, cands, scorers = entry
+            entry = self._build_scorers(src, dst)
+        static_path, cands, scorers, allowed = entry
         if mode is RoutingMode.STATIC:
             return PathChoice(list(static_path), 0)
         now = self.sim.now
+        remap = None
+        use_cands = cands
+        use_scorers = scorers
+        if len(allowed) != len(cands):
+            remap = allowed
+            use_cands = [cands[i] for i in allowed]
+            use_scorers = [scorers[i] for i in allowed]
         scores = []
-        for chans, base in scorers:
+        for chans, base in use_scorers:
             for free_at, pid in chans:
                 t = free_at[pid]
                 if t > now:
                     base += t - now
             scores.append(base)
-        return choose_path(
-            cands,
+        ch = choose_path(
+            use_cands,
             mode,
             rng_pick=lambda n: self.sim.rng.choice(f"{self.name}.route", n),
             scores=scores,
         )
+        if remap is not None:
+            return PathChoice(ch.path, remap[ch.index])
+        return ch
 
     def injection_busy_until(self, node: int) -> float:
         ep = self.endpoints[node]

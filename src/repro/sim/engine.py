@@ -42,6 +42,16 @@ this engine event-for-event to the reference pure-heap implementation):
 ``Simulator(fast=False)`` (or ``DEFAULT_FAST = False``) disables the
 event pool and bucket path while keeping identical semantics — the
 integration suite runs in both modes via a conftest fixture.
+
+Components may also key off :attr:`Simulator.fast` to pick a batched
+execution strategy: the packet fabric
+(:class:`repro.network.switch.PacketFabric`) runs its vectorized
+one-event-per-link-timestep path when ``sim.fast`` is set and the
+reference per-packet event chain otherwise.  Such callers must keep
+every *observable* (timing, metrics, delivered bytes, spans) identical
+between modes — only ``events_executed`` may differ — and pin that
+contract with a conformance suite
+(``tests/properties/test_fabric_determinism.py``).
 """
 
 from __future__ import annotations
@@ -102,8 +112,9 @@ class Simulator:
         (components call ``sim.tracer.record(...)``).
     fast:
         Engine mode; ``None`` reads :data:`DEFAULT_FAST`.  Both modes
-        are semantically identical — ``fast=True`` adds event pooling
-        and the bucketed batch path.
+        are observably identical — ``fast=True`` adds event pooling,
+        the bucketed batch path, and lets batch-aware components (the
+        packet fabric) coalesce same-instant work into one event.
 
     Examples
     --------

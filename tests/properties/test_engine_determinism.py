@@ -94,6 +94,12 @@ def test_motif_metrics_deterministic(engine_mode):
 
 
 def test_motif_identical_across_engine_modes():
+    """Fast mode must match plain on every *observable*: messages,
+    bytes, elapsed time and final simulated clock.  Event counts are
+    exempt — the vectorized packet fabric intentionally schedules one
+    event per link-timestep instead of two per packet-hop, so fast mode
+    executes fewer events for the same physics (the fabric conformance
+    suite pins the full delivery/metric/span equivalence)."""
     import repro.sim.engine as engine
 
     saved = engine.DEFAULT_FAST
@@ -104,7 +110,10 @@ def test_motif_identical_across_engine_modes():
         plain = _run_incast()
     finally:
         engine.DEFAULT_FAST = saved
-    assert fast == plain
+    f_msgs, f_bytes, f_elapsed, f_events, f_now = fast
+    p_msgs, p_bytes, p_elapsed, p_events, p_now = plain
+    assert (f_msgs, f_bytes, f_elapsed, f_now) == (p_msgs, p_bytes, p_elapsed, p_now)
+    assert f_events <= p_events
 
 
 def test_trace_stream_deterministic(engine_mode):

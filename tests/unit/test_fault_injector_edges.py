@@ -140,3 +140,123 @@ def test_fail_node_during_checkpoint_cadence_skips_dark_ticks():
     assert daemon.taken == 6
     assert daemon.latest is not None and daemon.latest.time == 10_000.0
     assert not nic1.failed
+
+
+# ----------------------------------------------- fabric route-state mirroring
+
+
+def _multi_path_pair(fabric, sim_nodes: int):
+    """A (src, dst, victim_switch) where the pair has several candidate
+    paths and *victim_switch* lies on some-but-not-all of them (and on
+    neither endpoint's attachment switch)."""
+    for src in range(sim_nodes):
+        for dst in range(sim_nodes):
+            if src == dst:
+                continue
+            _static, cands, _allowed = fabric._pair_paths(src, dst)
+            if len(cands) < 2:
+                continue
+            ends = {cands[0][0], cands[0][-1]}
+            for path in cands:
+                for sw in path[1:-1]:
+                    if sw in ends:
+                        continue
+                    if any(sw not in other for other in cands):
+                        return src, dst, sw
+    raise AssertionError("no multi-path pair with a partial victim switch")
+
+
+def test_switch_failure_invalidates_stale_scorer_caches():
+    """Regression: the packet fabric's ``_scored_paths`` / fast-route
+    caches bake channel handles in at build time, and before route-state
+    mirroring nothing invalidated them across ``fail_switch`` — adaptive
+    selection kept scoring (and picking) paths through the dead switch.
+    Failing a switch must invalidate the caches, exclude its paths while
+    the window is open, and re-admit them once it closes."""
+    from repro.network.routing import RoutingMode
+
+    cl = Cluster.build(
+        n_nodes=16, topology="dragonfly", nic_type="rvma", fidelity="packet", seed=7
+    )
+    fabric = cl.fabric
+    src, dst, victim = _multi_path_pair(fabric, 16)
+
+    # Warm every cache layer the way live traffic would.
+    fabric.select_path(src, dst, RoutingMode.ADAPTIVE)
+    assert (src, dst) in fabric._scored_paths
+
+    inj = FaultInjector(cl)
+    inj.fail_switch(victim, start=0.0, end=5_000.0)
+
+    # The mark applies immediately (start <= now) and nukes the caches.
+    assert (src, dst) not in fabric._scored_paths
+    assert not fabric._fast_routes
+    assert victim in fabric._down_switches
+
+    _static, cands, allowed = fabric._pair_paths(src, dst)
+    assert 0 < len(allowed) < len(cands)
+    assert all(victim not in cands[i] for i in allowed)
+    for _ in range(20):
+        choice = fabric.select_path(src, dst, RoutingMode.ADAPTIVE)
+        assert victim not in choice.path
+
+    cl.sim.run()  # past the window end: the up-mark restores the switch
+    assert cl.sim.now >= 5_000.0
+    assert victim not in fabric._down_switches
+    _static, cands, allowed = fabric._pair_paths(src, dst)
+    assert allowed == tuple(range(len(cands)))
+
+
+def test_overlapping_chaos_flaps_keep_link_down_until_both_close():
+    """Two overlapping ChaosSchedule flaps on one link: the fabric's
+    down-state is a *counter*, so the link stays routed-around through
+    the union of the windows and only comes back when the later one
+    closes."""
+    cl = Cluster.build(n_nodes=8, topology="dragonfly", nic_type="rvma", fidelity="flow")
+    topo = cl.topology
+    path = topo.static_path(topo.node_switch(0), topo.node_switch(2))
+    u, v = path[0], path[1]
+    edge = frozenset((u, v))
+
+    schedule = ChaosSchedule(
+        events=[
+            ChaosEvent(kind="link_flap", start=1_000.0, end=5_000.0, params=(u, v)),
+            ChaosEvent(kind="link_flap", start=3_000.0, end=8_000.0, params=(u, v)),
+        ]
+    )
+    schedule.apply(FaultInjector(cl))
+
+    fabric = cl.fabric
+    seen: list[int] = []
+    for t in (500.0, 2_000.0, 4_000.0, 6_000.0, 9_000.0):
+        cl.sim.schedule_at(t, lambda: seen.append(fabric._down_links.get(edge, 0)))
+    cl.sim.run()
+    assert seen == [0, 1, 2, 1, 0]
+    assert edge not in fabric._down_links
+
+
+def test_clear_restores_route_state_and_cancels_pending_marks():
+    """clear() must undo an outstanding down-mark (open-ended
+    fail_switch) and cancel not-yet-fired transitions so a cleared
+    injector leaves no residue in the fabric's routing state."""
+    cl = Cluster.build(n_nodes=8, topology="dragonfly", nic_type="rvma", fidelity="flow")
+    fabric = cl.fabric
+    topo = cl.topology
+    path = topo.static_path(topo.node_switch(0), topo.node_switch(2))
+    u, v = path[0], path[1]
+    edge = frozenset((u, v))
+
+    inj = FaultInjector(cl)
+    inj.fail_switch(u, start=0.0)  # end=inf: nothing would ever restore it
+    assert u in fabric._down_switches
+    inj.clear()
+    assert u not in fabric._down_switches
+
+    inj2 = FaultInjector(cl)
+    inj2.flap_link(u, v, [(1_000.0, 2_000.0)])
+    inj2.clear()  # before the window opens: both transitions cancelled
+    seen: list[int] = []
+    cl.sim.schedule_at(1_500.0, lambda: seen.append(fabric._down_links.get(edge, 0)))
+    cl.sim.run()
+    assert seen == [0]
+    assert edge not in fabric._down_links

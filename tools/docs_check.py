@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation drift gate (``make docs-check``).
 
-Three checks, all fatal on failure:
+Five checks, all fatal on failure:
 
 1. **API coverage** — every public symbol exported from
    ``repro.__init__`` (its ``__all__``) and every public method of
@@ -11,7 +11,16 @@ Three checks, all fatal on failure:
    :data:`repro.observability.metrics.CATALOG` must be documented by
    name in ``docs/OBSERVABILITY.md`` (and vice versa: names in the doc's
    catalog table that the code no longer declares are flagged).
-3. **Live report coverage** — one small chaos run with observability on
+3. **Fabric metric rows** — the ``fabric.*`` rows of the
+   ``docs/OBSERVABILITY.md`` catalog table must carry the same
+   kind/unit the CATALOG declares (the fabric rows are the ones the
+   vectorized fast path must reproduce bit-for-bit, so their documented
+   shape is load-bearing for the conformance suite).
+4. **Bench cell coverage** — every cell registered in
+   :data:`repro.experiments.bench.SUITES` must appear in the
+   ``docs/PERFORMANCE.md`` cell table, and every cell the table names
+   must still exist in the registry.
+5. **Live report coverage** — one small chaos run with observability on
    must produce a report whose metric groups include
    nic/transport/recovery/fabric, with >= 3 span categories, and with
    every reported metric declared in the CATALOG (hence documented, by
@@ -31,6 +40,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 API_MD = ROOT / "docs" / "API.md"
 OBS_MD = ROOT / "docs" / "OBSERVABILITY.md"
+PERF_MD = ROOT / "docs" / "PERFORMANCE.md"
 
 
 def check_api_coverage() -> list[str]:
@@ -74,6 +84,53 @@ def check_metric_catalog() -> list[str]:
     return problems
 
 
+def check_fabric_metric_rows() -> list[str]:
+    from repro.observability.metrics import CATALOG
+
+    text = OBS_MD.read_text(encoding="utf-8") if OBS_MD.exists() else ""
+    problems = []
+    rows = {
+        name: (kind, unit)
+        for name, kind, unit in re.findall(
+            r"\| `(fabric\.[a-z_.]+)` \| (\w+) \| (\w+) \|", text
+        )
+    }
+    for name, spec in sorted(CATALOG.items()):
+        if not name.startswith("fabric."):
+            continue
+        row = rows.get(name)
+        if row is None:
+            problems.append(
+                f"docs/OBSERVABILITY.md: no catalog-table row for `{name}`"
+            )
+        elif row != (spec.kind, spec.unit):
+            problems.append(
+                f"docs/OBSERVABILITY.md: `{name}` documented as "
+                f"{row[0]}/{row[1]}, CATALOG declares {spec.kind}/{spec.unit}"
+            )
+    return problems
+
+
+def check_bench_cells() -> list[str]:
+    from repro.experiments.bench import SUITES
+
+    text = PERF_MD.read_text(encoding="utf-8") if PERF_MD.exists() else ""
+    problems = []
+    if not text:
+        return ["docs/PERFORMANCE.md: file missing"]
+    registry = {name for cells in SUITES.values() for name, _ in cells}
+    documented = set(re.findall(r"^\| `([a-z0-9-]+)` \|", text, flags=re.M))
+    for name in sorted(registry - documented):
+        problems.append(
+            f"docs/PERFORMANCE.md: bench cell `{name}` missing from the cell table"
+        )
+    for name in sorted(documented - registry):
+        problems.append(
+            f"docs/PERFORMANCE.md: stale bench cell `{name}` (not in SUITES)"
+        )
+    return problems
+
+
 def check_live_report() -> list[str]:
     from repro.experiments.chaos import run_motif_under_chaos
 
@@ -101,13 +158,18 @@ def main() -> int:
     problems = []
     problems += check_api_coverage()
     problems += check_metric_catalog()
+    problems += check_fabric_metric_rows()
+    problems += check_bench_cells()
     problems += check_live_report()
     if problems:
         print(f"docs-check: {len(problems)} problem(s)")
         for p in problems:
             print(f"  - {p}")
         return 1
-    print("docs-check: API.md and OBSERVABILITY.md cover every public symbol and metric")
+    print(
+        "docs-check: API.md, OBSERVABILITY.md and PERFORMANCE.md cover every "
+        "public symbol, metric and bench cell"
+    )
     return 0
 
 
