@@ -350,6 +350,40 @@ class RvmaApi:
         record = yield self.nic.hw_rewind(win.virtual_addr, epochs_back)
         return record
 
+    def attach_handler(self, win: Window, handler) -> Generator:
+        """Bind an active-mailbox handler (:mod:`repro.nic.active`) to
+        *win*: the NIC completion unit then executes it whenever a
+        buffer crosses its threshold.  Returns the
+        :class:`~repro.nic.active.ActiveBinding`.
+        """
+        yield from self._overhead()
+        res = yield self.nic.hw_attach_handler(win.virtual_addr, handler)
+        if isinstance(res, LutError):
+            raise RvmaApiError(RvmaStatus.ERR_INVALID, str(res))
+        return res
+
+    def active_word(self, win: Window) -> Generator:
+        """Read the window's NIC-resident handler word (PCIe round trip);
+        None when no :class:`~repro.nic.active.AtomicWordHandler` is bound."""
+        yield from self._overhead()
+        value = yield self.nic.hw_active_word(win.virtual_addr)
+        return value
+
+    def kv_sync(
+        self,
+        win: Window,
+        key: bytes,
+        value: Optional[bytes] = None,
+        delete: bool = False,
+        executed: bool = True,
+    ) -> Generator:
+        """Sync the window's hot-key view after executing (or shedding,
+        ``executed=False``) a write on *key*; True when a KV handler is
+        bound (see :meth:`repro.nic.rvma.RvmaNic.hw_kv_sync`)."""
+        yield from self._overhead()
+        ok = yield self.nic.hw_kv_sync(win.virtual_addr, key, value, delete, executed)
+        return bool(ok)
+
 
 def execute(sim: Simulator, gen: Generator, name: str = "api"):
     """Drive one API generator to completion; returns its value.

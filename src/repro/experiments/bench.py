@@ -437,6 +437,43 @@ def bench_kv_noisy(victim_ops: int, aggressor_ops: int, aggressor_batch: int) ->
     )
 
 
+def bench_active_flash(n_ops: int, variant: str = "flash", name: str = "active-flash") -> BenchRecord:
+    """The hot-key flash-crowd contrast cell: NIC serve path vs host.
+
+    Runs one seed's active off/on pair so the regression gate covers
+    the completion-unit handler path (scan, view lookup, reply
+    injection, OP_SERVED tombstoning) and the client's handler-reply
+    accounting.  Events/sec counts the active-on run's events over the
+    whole cell's wall time — pinned seed, both runs deterministic.
+    """
+    from repro.experiments.active_flash import run_flash_crowd
+
+    t0 = time.perf_counter()
+    outcome = run_flash_crowd(seed=1, n_ops=n_ops, variant=variant)
+    wall = time.perf_counter() - t0
+    return BenchRecord(
+        name=name,
+        wall_s=wall,
+        events=outcome.on.events_executed,
+        sim_ns=outcome.on.p99_ns,
+        peak_rss_kb=_peak_rss_kb(),
+        metrics={
+            "nic.rvma.active.served": outcome.on.served,
+            "service.kv.client.handler_served": outcome.on.handler_served,
+            "service.kv.requests": outcome.on.requests,
+        },
+        extras={
+            "variant": outcome.variant,
+            "off_p99_ns": outcome.off.p99_ns,
+            "on_p99_ns": outcome.on.p99_ns,
+            "speedup": round(outcome.speedup, 3),
+            "dispatch_saving": outcome.dispatch_saving,
+            "invariants_ok": outcome.invariants_ok,
+            "contrast_ok": outcome.contrast_ok,
+        },
+    )
+
+
 def bench_chaos_crash(seed: int) -> BenchRecord:
     """One crash-restart chaos cell: motif + faults + recovery + audit.
 
@@ -490,6 +527,9 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
             8, 2, 320, 4, fidelity="packet", name="kv-incast-pkt",
             value_bytes=1024, topology="torus3d")),
         ("kv-noisy", lambda: bench_kv_noisy(160, 800, 8)),
+        ("active-flash", lambda: bench_active_flash(260)),
+        ("kv-incast-active", lambda: bench_active_flash(
+            200, variant="incast", name="kv-incast-active")),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
     "smoke": [
@@ -505,6 +545,9 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
             4, 2, 240, 4, fidelity="packet", name="kv-incast-pkt",
             value_bytes=1024, topology="torus3d")),
         ("kv-noisy", lambda: bench_kv_noisy(80, 320, 4)),
+        ("active-flash", lambda: bench_active_flash(120)),
+        ("kv-incast-active", lambda: bench_active_flash(
+            100, variant="incast", name="kv-incast-active")),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
 }

@@ -18,6 +18,7 @@ import sys
 import time
 from typing import Callable
 
+from .active_flash import run_flash_sweep
 from .ablations import (
     run_ablation_completion,
     run_ablation_lut,
@@ -88,6 +89,10 @@ def _qos_noisy_runner(args) -> ExperimentResult:
     return run_noisy_sweep(seeds=_seeds_of(args))
 
 
+def _active_flash_runner(args) -> ExperimentResult:
+    return run_flash_sweep(seeds=_seeds_of(args))
+
+
 RUNNERS: dict[str, Callable] = {
     "fig4": lambda args: run_fig4(),
     "fig5": lambda args: run_fig5(),
@@ -104,6 +109,7 @@ RUNNERS: dict[str, Callable] = {
     "chaos-crash": _chaos_crash_runner,
     "kv-churn": _kv_churn_runner,
     "qos-noisy": _qos_noisy_runner,
+    "active-flash": _active_flash_runner,
 }
 
 
@@ -134,6 +140,12 @@ def main(argv: list[str] | None = None) -> int:
         from .qos_noisy import qos_main
 
         return qos_main(argv[1:])
+    if argv and argv[0] == "active":
+        # Active-mailbox flash-crowd cell: owns its flags
+        # (`rvma-experiments active --sweep --engine plain`).
+        from .active_flash import active_main
+
+        return active_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rvma-experiments",
         description="Regenerate the RVMA paper's tables and figures",

@@ -62,6 +62,10 @@ class NackReason(Enum):
     # timer is exactly the behaviour quotas exist to stop — recovery is
     # the client's backoff/deadline loop (services QoS layer).
     QUOTA = "quota"
+    # An active-mailbox predicate filter (repro.nic.active) rejected the
+    # payload.  Also not auto-retried: the same bytes would fail the
+    # same predicate forever.
+    FILTERED = "filtered"
 
 
 @dataclass(frozen=True)

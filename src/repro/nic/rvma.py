@@ -118,6 +118,10 @@ class RvmaNic(BaseNic):
         #: window-structure commands (:class:`repro.recovery.checkpoint.OpJournal`).
         #: None (the default) costs one attribute check per command.
         self.op_journal = None
+        #: active-mailbox handler registry (:class:`repro.nic.active.ActiveRegistry`),
+        #: created lazily on the first ``hw_attach_handler``.  None (the
+        #: default) costs one attribute check per admit/completion.
+        self.active = None
         #: puts admitted by the transport/fabric but whose DMA placement
         #: is still in the PCIe pipeline; checkpoints must not land in
         #: that gap (the rx cum would count bytes the LUT hasn't seen).
@@ -159,6 +163,10 @@ class RvmaNic(BaseNic):
             max_counters=self.cfg.nic_counters,
             retain_epochs=self.cfg.retain_epochs,
         )
+        if self.active is not None:
+            # Handler bindings (and their words/views) are NIC SRAM:
+            # they die too, and rejoin re-attaches them from the journal.
+            self.active.crash_reset()
 
     def flow_ordered(self, flow: int) -> bool:
         # Peek the table directly: this is transport bookkeeping, not an
@@ -354,6 +362,70 @@ class RvmaNic(BaseNic):
         self.sim.post(self.cfg.issue_latency(), do)
         return fut
 
+    def _active_registry(self):
+        if self.active is None:
+            from .active import ActiveRegistry
+
+            self.active = ActiveRegistry(self)
+        return self.active
+
+    def hw_attach_handler(self, mailbox: int, handler) -> Future:
+        """Bind an active-mailbox handler (:mod:`repro.nic.active`) so
+        the completion unit executes it at threshold time.  Resolves
+        with the :class:`~repro.nic.active.ActiveBinding` (or an
+        exception object on error)."""
+        fut = self.future()
+
+        def do() -> None:
+            try:
+                binding = self._active_registry().attach(mailbox, handler)
+            except LutError as exc:
+                fut.resolve(exc)
+                return
+            if self.op_journal is not None:
+                self.op_journal.note_attach(binding.mailbox, handler)
+            self.trace("attach_handler", mailbox=mailbox, kind=handler.kind)
+            fut.resolve(binding)
+
+        self.sim.post(self.cfg.issue_latency(), do)
+        return fut
+
+    def hw_active_word(self, mailbox: int) -> Future:
+        """Read a word handler's NIC-resident word (a PCIe round trip).
+        Resolves with the int, or None when no word handler is bound."""
+        fut = self.future()
+
+        def do() -> None:
+            reg = self.active
+            fut.resolve(None if reg is None else reg.word_value(mailbox & RVMA_ADDR_MASK))
+
+        self.sim.post(self.pcie.round_trip(), do)
+        return fut
+
+    def hw_kv_sync(
+        self,
+        mailbox: int,
+        key: bytes,
+        value: Optional[bytes] = None,
+        delete: bool = False,
+        executed: bool = True,
+    ) -> Future:
+        """Host → NIC hot-key view sync after executing (``executed=True``,
+        with the new *value* or ``delete``) or shedding (``executed=False``)
+        a write on a hot key.  Resolves True when a KV handler is bound."""
+        fut = self.future()
+
+        def do() -> None:
+            reg = self.active
+            fut.resolve(
+                False
+                if reg is None
+                else reg.kv_sync(mailbox & RVMA_ADDR_MASK, key, value, delete, executed)
+            )
+
+        self.sim.post(self.cfg.issue_latency(), do)
+        return fut
+
     def hw_put(
         self,
         dst: int,
@@ -514,6 +586,33 @@ class RvmaNic(BaseNic):
             self.stat("puts_discarded").add()
             self._nack(src, hdr, NackReason.QUOTA)
             return
+        if self.active is not None:
+            # Active-mailbox predicate filter: reject non-matching
+            # payloads before any bytes land.  A passing put pays the
+            # predicate-evaluation cost before placement.
+            verdict = self.active.filter_put(hdr, src, frag_off, nbytes, data)
+            if verdict is None:
+                self.stat("puts_discarded").add()
+                return
+            if verdict > 0.0:
+                self._inflight_admits += 1
+                self.sim.post(verdict, self._place_filtered, hdr, src, frag_off, nbytes, data)
+                return
+        self._place_admitted(hdr, src, frag_off, nbytes, data)
+
+    def _place_filtered(
+        self, hdr: RvmaPutHeader, src: int, frag_off: int, nbytes: int, data: bytes
+    ) -> None:
+        """Placement after a passing predicate evaluation (filter cost)."""
+        self._inflight_admits -= 1
+        if self.failed:
+            self.stat("rx_dropped_failed").add()
+            return
+        self._place_admitted(hdr, src, frag_off, nbytes, data)
+
+    def _place_admitted(
+        self, hdr: RvmaPutHeader, src: int, frag_off: int, nbytes: int, data: bytes
+    ) -> None:
         entry, buf = self._resolve_target(hdr, src)
         if entry is None:
             self.stat("puts_discarded").add()
@@ -648,6 +747,12 @@ class RvmaNic(BaseNic):
 
     def _complete_active(self, entry: MailboxEntry) -> RetiredBuffer:
         """Threshold reached (or epoch pre-empted): retire and notify."""
+        handler_cost = 0.0
+        if self.active is not None:
+            # Active-mailbox handlers run in the completion unit before
+            # the buffer retires, so served-frame rewrites land in the
+            # bytes the host recv()s (and the auditor digests).
+            handler_cost = self.active.on_epoch_complete(entry)
         spill_penalty = self.pcie.round_trip() if entry.counter_spilled else 0.0
         record = self.lut.retire_active(entry)
         self.stat("epochs_completed").add()
@@ -671,7 +776,7 @@ class RvmaNic(BaseNic):
         # only the pipeline gap — plus a full host round trip when the
         # threshold counter spilled to host memory.
         self.sim.post(
-            self.cfg.completion_pipeline_gap + spill_penalty,
+            self.cfg.completion_pipeline_gap + spill_penalty + handler_cost,
             self._write_completion,
             pb,
             record,

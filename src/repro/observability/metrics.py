@@ -70,6 +70,7 @@ CATALOG: dict[str, MetricSpec] = {
         _c("nic.rvma.nacks_no_buffer", "msgs", "NACKs sent because the mailbox had no posted buffer."),
         _c("nic.rvma.nacks_out_of_bounds", "msgs", "NACKs sent because the put exceeded buffer bounds."),
         _c("nic.rvma.nacks_quota", "msgs", "NACKs sent because the tenant placement quota rejected the put."),
+        _c("nic.rvma.nacks_filtered", "msgs", "NACKs sent because an active-mailbox predicate filter rejected the payload."),
         _c("nic.rvma.quota_rejects", "ops", "Inbound puts rejected whole at placement by the tenant quota hook."),
         _c("nic.rvma.puts_lost_quota", "ops", "Sender-side puts abandoned because the receiver's tenant quota shed them (accounted QoS loss, subset of puts_lost)."),
         _c("nic.rvma.gets_failed_peer_death", "ops", "RVMA gets failed locally because the target peer is marked dead."),
@@ -78,6 +79,20 @@ CATALOG: dict[str, MetricSpec] = {
         _c("nic.rvma.rx_dropped_failed", "msgs", "Inbound messages dropped because the RVMA NIC was failed/crashed."),
         _c("nic.rvma.rx_unknown_header", "msgs", "Inbound messages with an unrecognized header type."),
         _h("nic.rvma.epoch_bytes", "bytes", "Distribution of bytes accumulated per retired buffer epoch."),
+        # Active mailboxes (NIC-side compute-on-arrival, repro.nic.active).
+        _c("nic.rvma.active.attached", "handlers", "Active-mailbox handlers bound to mailboxes (including crash-restart re-attaches)."),
+        _c("nic.rvma.active.invocations", "epochs", "Completion-unit handler invocations at epoch close."),
+        _c("nic.rvma.active.word_ops", "ops", "Atomic word operations (add/add_bytes/cas) executed at epoch close."),
+        _c("nic.rvma.active.cas_failures", "ops", "Compare-and-swap word operations whose expectation did not hold."),
+        _c("nic.rvma.active.filter_passed", "ops", "Puts that passed an active-mailbox predicate filter and placed normally."),
+        _c("nic.rvma.active.filtered_puts", "ops", "Puts rejected by an active-mailbox predicate filter before placement."),
+        _c("nic.rvma.active.filter_bypass", "ops", "Fragmented puts that bypassed a predicate filter (payload not evaluable)."),
+        _c("nic.rvma.active.served", "ops", "Hot-key GETs served straight from the NIC view (host sweep never dispatched them)."),
+        _c("nic.rvma.active.served_bytes", "bytes", "Reply bytes injected by the KV serve handler."),
+        _c("nic.rvma.active.passed_dirty", "ops", "Hot-key GETs passed to the host because the key had pending unsynced writes."),
+        _c("nic.rvma.active.passed_cold", "ops", "Hot-key GETs passed to the host because the view held no value for the key."),
+        _c("nic.rvma.active.kv_syncs", "ops", "Host→NIC hot-key view syncs (write executed or shed)."),
+        _c("nic.rvma.active.replayed", "epochs", "Epoch completions whose handler effects were re-asserted from the journal during rejoin replay."),
         # --- nic.rdma: the RDMA comparison NIC ----------------------------
         _c("nic.rdma.bytes_placed", "bytes", "Payload bytes written into registered memory regions by the RDMA path."),
         _c("nic.rdma.mrs_registered", "regions", "Memory regions registered with the RDMA NIC."),
@@ -147,6 +162,7 @@ CATALOG: dict[str, MetricSpec] = {
         _c("service.kv.client.timeouts", "ops", "Client-side request timeouts (no reply within the attempt timeout)."),
         _c("service.kv.client.retries", "ops", "Client request retransmissions after a timeout (exponential backoff + jitter)."),
         _c("service.kv.client.stale_replies", "msgs", "Late reply frames dropped because the request was already resolved (a retry won or the deadline passed)."),
+        _c("service.kv.client.handler_served", "msgs", "Replies served by a NIC-side active handler (STATUS_HANDLER_FLAG stripped client-side; excluded from host sweep accounting)."),
         _c("service.kv.client.backlog_dropped", "ops", "Open-loop arrivals shed at the load generator's backlog cap."),
         _c("service.kv.tenant.admitted*", "ops", "Per-tenant requests admitted past the token-bucket admitter (…admitted.t<id>)."),
         _c("service.kv.tenant.shed*", "ops", "Per-tenant requests refused with RC_OVERLOAD at admission (…shed.t<id>)."),

@@ -107,6 +107,14 @@ class _WindowLog:
     #: journal pins each completed epoch to its exact counter value.
     retires: dict = field(default_factory=dict)
     closed: bool = False
+    #: attached active-mailbox handlers, in attach order (NIC-resident
+    #: bindings die with the hardware; restore re-attaches them cold).
+    handlers: list = field(default_factory=list)
+    #: epoch -> :class:`repro.nic.active.ActiveEffect`.  Handler effects
+    #: (word value, served-frame offsets) are receiver-timed like epoch
+    #: boundaries, so replay re-asserts them from the journal instead of
+    #: re-running handlers against rebuilt (cold) handler state.
+    active_effects: dict = field(default_factory=dict)
 
 
 class OpJournal:
@@ -141,6 +149,23 @@ class OpJournal:
         log = self.windows.get(mailbox)
         if log is not None:
             log.closed = True
+
+    def note_attach(self, mailbox: int, handler) -> None:
+        log = self.windows.get(mailbox)
+        if log is not None:
+            log.handlers.append(handler)
+
+    def note_active_effect(self, mailbox: int, epoch: int, effect) -> None:
+        log = self.windows.get(mailbox)
+        if log is not None:
+            log.active_effects[epoch] = effect
+
+    def active_effect(self, mailbox: int, epoch: int):
+        """The journaled handler effect of (*mailbox*, *epoch*), or None
+        when that epoch has not completed before — the NIC's replay
+        discriminator: a hit means re-assert, a miss means fresh run."""
+        log = self.windows.get(mailbox)
+        return log.active_effects.get(epoch) if log is not None else None
 
     def note_catch_all(self, mailbox: int) -> None:
         self.catch_all = mailbox

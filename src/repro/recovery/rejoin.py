@@ -258,6 +258,15 @@ class RecoveryAgent:
                     pb.threshold = retire[0]
                 lut.post(entry, pb)
             entry.closed = log.closed
+            if log.handlers:
+                # Re-attach active-mailbox handlers cold (the bindings
+                # were NIC SRAM); the word rebuilds from journaled
+                # effects and replayed epochs re-assert their own.
+                # Must precede _drain_satisfied_boundaries: those
+                # re-completions consult the registry.
+                reg = nic._active_registry()
+                for handler in log.handlers:
+                    reg.restore(mailbox, handler, log)
             restored[mailbox] = epoch
         if self.op_journal.catch_all is not None:
             entry = lut.entries.get(self.op_journal.catch_all)

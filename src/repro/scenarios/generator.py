@@ -211,6 +211,16 @@ def generate(seed: int, known_bad: bool = False) -> Scenario:
             workload["client_tenants"] = [
                 1 + rng.choice("gen.kv.tenant", 2) for _ in range(n_clients)
             ]
+        if rng.choice("gen.kv.active", 2) == 1:
+            # Active-handler dimension (schema v3): arm the NIC-side GET
+            # short-circuit on a sampled slice of each client's keyspace
+            # and, half the time, mix in an atomic word handler on the
+            # reply mailboxes.  New named streams only, so pre-v3 seeds
+            # regenerate their other fields byte-identically.
+            workload["active"] = True
+            workload["hot_key_fraction"] = 0.25 * (1 + rng.choice("gen.kv.hotfrac", 3))
+            if rng.choice("gen.kv.word", 2) == 1:
+                workload["handler_word"] = True
         return Scenario(
             seed=seed,
             workload_kind="kv",

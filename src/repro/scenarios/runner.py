@@ -42,7 +42,8 @@ from ..network.config import NetworkConfig
 from ..network.routing import RoutingMode
 from ..nic.rvma import RvmaNicConfig
 from ..observability import RunReport
-from ..services import KvClient, KvServer, ShardMap
+from ..nic.active import AtomicWordHandler
+from ..services import KvClient, KvServer, KvServerConfig, ShardMap
 from ..services.wire import STATUS_NOT_FOUND, STATUS_OK
 from ..sim.process import AllOf, spawn
 from .schema import Scenario
@@ -354,6 +355,23 @@ def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
     scripts = scenario.workload["scripts"]
     shards_per_node = int(scenario.workload.get("shards_per_node", 2))
     value_scale = int(scenario.workload.get("value_scale", 24))
+    # Active-handler dimension (schema v3): derive the hot-key set
+    # deterministically from the document — the first
+    # ceil(fraction * keyspace) indices of every client's namespace.
+    hot_keys: tuple = ()
+    if scenario.workload.get("active"):
+        n_keys = 1 + max(
+            (int(key_i) for script in scripts for _op, key_i, _f in script), default=0
+        )
+        fraction = float(scenario.workload.get("hot_key_fraction", 0.5))
+        n_hot = max(1, int(n_keys * fraction))
+        hot_keys = tuple(
+            b"c%d-k%d" % (rank, k)
+            for rank in range(len(scripts))
+            for k in range(n_hot)
+        )
+    server_config = KvServerConfig(hot_keys=hot_keys)
+    attach_word = bool(scenario.workload.get("handler_word"))
     directory, client_tenants = _kv_tenancy(scenario)
     cluster = Cluster.build(
         n_nodes=scenario.n_nodes,
@@ -376,7 +394,8 @@ def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
         for rank, tenant in enumerate(client_tenants):
             directory.assign_node(1 + rank, tenant)
         server = KvServer(
-            cluster.nodes[0], shard_map, qos=QosConfig(), tenants=directory
+            cluster.nodes[0], shard_map, config=server_config,
+            qos=QosConfig(), tenants=directory,
         ).start()
         install_placement_quota(
             cluster.nodes[0], directory,
@@ -390,7 +409,7 @@ def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
             max_retries=0, default_deadline_ns=KV_OP_DEADLINE_NS
         )
     else:
-        server = KvServer(cluster.nodes[0], shard_map).start()
+        server = KvServer(cluster.nodes[0], shard_map, config=server_config).start()
         robustness = None
     failures: list = []
 
@@ -403,6 +422,13 @@ def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
             robustness=robustness,
         )
         yield from client.open()
+        if attach_word:
+            # Handler-mix dimension: an atomic word on the reply mailbox
+            # counts reply epochs NIC-side; losing the binding (or the
+            # word) under faults is a fingerprinted failure.
+            yield from client.api.attach_handler(
+                client.reply_win, AtomicWordHandler(op="add")
+            )
         # Keys partitioned per client: each key's possible-state set is
         # the exact linearization envelope for this client's namespace.
         model: dict = {}
@@ -422,7 +448,12 @@ def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
             problem = _apply_kv_step(op, status, value, new_value, possible)
             if problem is not None:
                 failures.append(f"rank{rank} step{step}: {problem}")
+        if attach_word:
+            word = yield from client.api.active_word(client.reply_win)
+            if word is None:
+                handler_failures.append(f"rank{rank}: reply-mailbox word handler lost")
 
+    handler_failures: list = []
     procs = [
         spawn(cluster.sim, client_proc(rank, script), f"fuzz-kv-{rank}")
         for rank, script in enumerate(scripts)
@@ -446,6 +477,8 @@ def _run_kv(scenario: Scenario, trace: bool) -> ScenarioOutcome:
         components.append("stall")
     if failures:
         components.append("kv:linearizability")
+    if handler_failures:
+        components.append("active:word_lost")
     # Canonical (aggregated) names: the per-component flat counters are
     # rvma<N>.puts_lost / rel<N>.rel_gave_up, so integrity must read
     # through the registry, not sim.stats directly.

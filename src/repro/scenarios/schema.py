@@ -31,8 +31,10 @@ from typing import Any, Optional
 #: own version on round-trip (so v1 corpus entries keep their identity).
 #: v2 added the optional tenant-mix dimension to kv workloads
 #: (``qos`` / ``tenant_specs`` / ``client_tenants``).
-SCHEMA_VERSION = 2
-SUPPORTED_SCHEMAS = (1, 2)
+#: v3 added the optional active-handler dimension to kv workloads
+#: (``active`` / ``hot_key_fraction`` / ``handler_word``).
+SCHEMA_VERSION = 3
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 #: Workload kinds the runner knows how to drive.
 MOTIF_KINDS = ("allreduce", "incast", "halo3d")
@@ -235,6 +237,7 @@ class Scenario:
                     if key_i < 0 or not 0 <= fill <= 255:
                         raise ScenarioError(f"malformed kv step {step!r}")
             self._validate_kv_tenancy(scripts)
+            self._validate_kv_active()
         for ev in self.fault_events:
             if ev.kind not in ("link_flap", "switch_failure", "partition", "crash_restart"):
                 raise ScenarioError(f"unknown fault kind {ev.kind!r}")
@@ -278,6 +281,32 @@ class Scenario:
                     raise ScenarioError(f"client tenant {tid} has no tenant spec")
         if qos and not known:
             raise ScenarioError("qos kv scenarios need tenant_specs")
+
+    def _validate_kv_active(self) -> None:
+        """The v3 active-handler keys (all optional, strict when used).
+
+        ``active`` arms the NIC-side GET short-circuit on the scenario's
+        KV server; ``hot_key_fraction`` picks the slice of each client's
+        keyspace registered hot (the runner derives the concrete key set
+        deterministically); ``handler_word`` mixes in an atomic word
+        handler on each client's reply mailbox.
+        """
+        active = self.workload.get("active", False)
+        fraction = self.workload.get("hot_key_fraction")
+        word = self.workload.get("handler_word", False)
+        if not (active or fraction is not None or word):
+            return
+        if self.schema < 3:
+            raise ScenarioError("kv active-handler keys need scenario schema >= 3")
+        if not isinstance(active, bool):
+            raise ScenarioError("kv workload 'active' must be a boolean")
+        if not isinstance(word, bool):
+            raise ScenarioError("kv workload 'handler_word' must be a boolean")
+        if fraction is not None:
+            if not active:
+                raise ScenarioError("hot_key_fraction is meaningless without active=true")
+            if not 0.0 < float(fraction) <= 1.0:
+                raise ScenarioError("hot_key_fraction must be in (0, 1]")
 
     # ------------------------------------------------------------- shrinking aids
 

@@ -30,6 +30,7 @@ from ..core.api import RvmaApi
 from ..core.receiver_managed import StreamClient, StreamServer
 from ..core.status import RvmaStatus
 from ..network.routing import RoutingMode
+from ..nic.active import KvServeHandler
 from ..nic.lut import BufferMode, EpochType
 from ..sim.process import spawn
 from .qos import AdmissionController, ClientRobustnessConfig, DeficitRoundRobin, QosConfig
@@ -52,6 +53,8 @@ from .wire import (
     decode_scan_payload,
     encode_request,
     encode_scan_payload,
+    status_is_handler_served,
+    strip_handler_flag,
 )
 
 #: Mailbox bases: shard request streams and per-client reply mailboxes
@@ -139,6 +142,12 @@ class KvServerConfig:
     service_ns_per_request: float = 0.0
     service_ns_per_byte: float = 0.0
     reply_mailbox_base: int = REPLY_MAILBOX_BASE
+    #: Opt-in active mailboxes (repro.nic.active): keys listed here get
+    #: a NIC-side GET short-circuit — the completion unit serves them
+    #: from a server-synced read-only view, and the host sweep never
+    #: dispatches the served frames.  Empty (the default) leaves every
+    #: event exactly as before.
+    hot_keys: tuple = ()
 
 
 class KvServer:
@@ -173,6 +182,12 @@ class KvServer:
             AdmissionController(node.sim, tenants, qos) if qos is not None else None
         )
         self.shards = shard_map.shards_on(node.node_id)
+        #: shard → hot keys served by that shard's active mailbox handler.
+        cfg_hot = tuple(self.config.hot_keys)
+        self._hot: dict[int, tuple[bytes, ...]] = {
+            s: tuple(k for k in cfg_hot if shard_map.shard_of(k) == s)
+            for s in self.shards
+        }
         #: shard → key/value store (plain dict; durability is out of scope).
         self.stores: dict[int, dict[bytes, bytes]] = {s: {} for s in self.shards}
         self.streams: dict[int, StreamServer] = {}
@@ -228,6 +243,16 @@ class KvServer:
         yield from stream.open()
         decoder = RequestDecoder()
         store = self.stores[shard]
+        hot = self._hot.get(shard)
+        if hot:
+            # Arm the NIC-side GET short-circuit, then seed its view
+            # with whatever the store already holds for the hot keys.
+            handler = KvServeHandler(hot_keys=hot, reply_mailbox_base=cfg.reply_mailbox_base)
+            yield from self.api.attach_handler(stream.win, handler)
+            for key in hot:
+                value = store.get(key)
+                if value is not None:
+                    yield from self.api.kv_sync(stream.win, key, value=value)
         if self.qos is None:
             yield from self._fifo_loop(shard, stream, decoder, store)
         else:
@@ -299,6 +324,13 @@ class KvServer:
                         # now beats a client timeout later.
                         reply = KvReply(STATUS_OVERLOAD, req.req_id)
                         shed.setdefault(req.client_id, []).append(reply.encode())
+                        if req.op in (OP_PUT, OP_DELETE) and req.key in self._hot.get(shard, ()):
+                            # The NIC scanner pending-counted this write;
+                            # it will never execute, so release the count
+                            # (executed=False) or the key wedges dirty.
+                            yield from self.api.kv_sync(
+                                self.streams[shard].win, req.key, executed=False
+                            )
                 if shed:
                     yield from self._put_replies(shed)
             if sched.pending_items:
@@ -338,6 +370,16 @@ class KvServer:
             if sp is not None:
                 spans.end(sp, status=reply.status)
             self._requests.add()
+            if req.op in (OP_PUT, OP_DELETE) and req.key in self._hot.get(shard, ()):
+                # Executed a write on a hot key: fold it into the NIC's
+                # read-only view and release one pending-write count, so
+                # the handler may serve GETs behind it again.
+                yield from self.api.kv_sync(
+                    self.streams[shard].win,
+                    req.key,
+                    value=req.value if req.op == OP_PUT else None,
+                    delete=req.op == OP_DELETE,
+                )
             by_client.setdefault(req.client_id, []).append(reply.encode())
         yield from self._put_replies(by_client)
 
@@ -448,6 +490,7 @@ class KvClient:
         self._timeouts = stats.counter("service.kv.client.timeouts")
         self._retries = stats.counter("service.kv.client.retries")
         self._stale = stats.counter("service.kv.client.stale_replies")
+        self._handler_served = stats.counter("service.kv.client.handler_served")
         self._tenant_retries = stats.counter(f"service.kv.tenant.retries.t{tenant_id}")
         self._deadline_misses = stats.counter(
             f"service.kv.tenant.deadline_misses.t{tenant_id}"
@@ -567,11 +610,19 @@ class KvClient:
     def _feed(self, data: bytes) -> None:
         now = self.api.sim.now
         for reply in self._decoder.feed(data):
+            if status_is_handler_served(reply.status):
+                # Served by a NIC-side active handler: strip the marker
+                # so callers see the canonical (host-identical) reply,
+                # but count it — QoS/DRR accounting needs to know this
+                # request never consumed host sweep budget.
+                self._handler_served.add()
+                reply = KvReply(strip_handler_flag(reply.status), reply.req_id, reply.payload)
             if reply.req_id in self._outstanding:
                 self._replies[reply.req_id] = (reply, now)
             else:
                 # A retry already won (or the deadline resolved this op):
-                # the late duplicate is counted and dropped.
+                # the late duplicate — handler-served or host-dispatched
+                # alike — is counted and dropped, never silently lost.
                 self._stale.add()
 
     def _take_reply(self, req_id: int) -> tuple[KvReply, float]:

@@ -33,6 +33,11 @@ OP_GET = 1
 OP_PUT = 2
 OP_DELETE = 3
 OP_SCAN = 4
+#: Tombstone op: an active mailbox handler (repro.nic.active) already
+#: served this frame straight from the NIC, rewriting its op byte in
+#: place so the host sweep skips it without a dispatch.  Never encoded
+#: by clients; only ever *observed* by the request decoder.
+OP_SERVED = 0x7F
 
 OP_NAMES = {OP_GET: "get", OP_PUT: "put", OP_DELETE: "delete", OP_SCAN: "scan"}
 
@@ -56,6 +61,21 @@ STATUS_NAMES = {
     STATUS_DEADLINE_EXCEEDED: "deadline_exceeded",
 }
 
+#: High bit of the reply status byte: the reply was served by a NIC-side
+#: active handler, not the host sweep loop.  Clients strip the flag
+#: before exposing the reply (handler-served replies are byte-identical
+#: to host-dispatched ones above this marker) but count it, so QoS/DRR
+#: accounting can tell the two service paths apart.
+STATUS_HANDLER_FLAG = 0x80
+
+
+def status_is_handler_served(status: int) -> bool:
+    return bool(status & STATUS_HANDLER_FLAG)
+
+
+def strip_handler_flag(status: int) -> int:
+    return status & ~STATUS_HANDLER_FLAG
+
 #: Default tenant for untenanted callers (always admitted by default).
 DEFAULT_TENANT = 0
 
@@ -65,6 +85,16 @@ _SCAN_ITEM = struct.Struct("<HI")
 
 REQ_HEADER_BYTES = _REQ_HEADER.size
 REPLY_HEADER_BYTES = _REPLY_HEADER.size
+
+
+def peek_request_header(buf, offset: int = 0) -> tuple[int, int, int, int, int, int]:
+    """Unpack one request-frame header (no body) at *offset*.
+
+    Returns ``(op, tenant, client_id, req_id, key_len, val_len)``.  The
+    NIC-side active-mailbox scanner (repro.nic.active) uses this to walk
+    a completed chunk without materialising KvRequest objects.
+    """
+    return _REQ_HEADER.unpack_from(buf, offset)
 
 
 class WireError(ValueError):
@@ -175,6 +205,11 @@ class RequestDecoder(_FrameDecoder):
             total = REQ_HEADER_BYTES + key_len + val_len
             if len(buf) < total:
                 break
+            if op == OP_SERVED:
+                # Handler-served tombstone: the NIC already replied; the
+                # host sweep must not dispatch it a second time.
+                del buf[:total]
+                continue
             if op not in OP_NAMES:
                 raise WireError(f"unknown op code {op} in request stream")
             key = bytes(buf[REQ_HEADER_BYTES : REQ_HEADER_BYTES + key_len])

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation drift gate (``make docs-check``).
 
-Five checks, all fatal on failure:
+Six checks, all fatal on failure:
 
 1. **API coverage** — every public symbol exported from
    ``repro.__init__`` (its ``__all__``) and every public method of
@@ -16,11 +16,14 @@ Five checks, all fatal on failure:
    kind/unit the CATALOG declares (the fabric rows are the ones the
    vectorized fast path must reproduce bit-for-bit, so their documented
    shape is load-bearing for the conformance suite).
-4. **Bench cell coverage** — every cell registered in
+4. **Active metric rows** — same contract for the ``nic.rvma.active.*``
+   rows: the active-mailbox conformance suites pin handler behaviour
+   against these counters, so kind/unit drift is fatal.
+5. **Bench cell coverage** — every cell registered in
    :data:`repro.experiments.bench.SUITES` must appear in the
    ``docs/PERFORMANCE.md`` cell table, and every cell the table names
    must still exist in the registry.
-5. **Live report coverage** — one small chaos run with observability on
+6. **Live report coverage** — one small chaos run with observability on
    must produce a report whose metric groups include
    nic/transport/recovery/fabric, with >= 3 span categories, and with
    every reported metric declared in the CATALOG (hence documented, by
@@ -111,6 +114,36 @@ def check_fabric_metric_rows() -> list[str]:
     return problems
 
 
+def check_active_metric_rows() -> list[str]:
+    """The ``nic.rvma.active.*`` rows mirror check 3: the active-mailbox
+    conformance suites pin handler behaviour against these counters, so
+    their documented kind/unit must match the CATALOG exactly."""
+    from repro.observability.metrics import CATALOG
+
+    text = OBS_MD.read_text(encoding="utf-8") if OBS_MD.exists() else ""
+    problems = []
+    rows = {
+        name: (kind, unit)
+        for name, kind, unit in re.findall(
+            r"\| `(nic\.rvma\.active\.[a-z_.]+)` \| (\w+) \| (\w+) \|", text
+        )
+    }
+    for name, spec in sorted(CATALOG.items()):
+        if not name.startswith("nic.rvma.active."):
+            continue
+        row = rows.get(name)
+        if row is None:
+            problems.append(
+                f"docs/OBSERVABILITY.md: no catalog-table row for `{name}`"
+            )
+        elif row != (spec.kind, spec.unit):
+            problems.append(
+                f"docs/OBSERVABILITY.md: `{name}` documented as "
+                f"{row[0]}/{row[1]}, CATALOG declares {spec.kind}/{spec.unit}"
+            )
+    return problems
+
+
 def check_bench_cells() -> list[str]:
     from repro.experiments.bench import SUITES
 
@@ -159,6 +192,7 @@ def main() -> int:
     problems += check_api_coverage()
     problems += check_metric_catalog()
     problems += check_fabric_metric_rows()
+    problems += check_active_metric_rows()
     problems += check_bench_cells()
     problems += check_live_report()
     if problems:
