@@ -46,6 +46,7 @@ from .network import NetworkConfig, RoutingMode, make_topology
 from .rdma import CompletionMode, UcpEndpoint, VerbsEndpoint
 from .sockets import Connection, RvmaListener, connect
 from .sim import Simulator, spawn
+from .workloads import Trace, TraceRecorder, TraceReplayer
 
 __all__ = [
     "AllreduceMotif",
@@ -88,6 +89,9 @@ __all__ = [
     "StreamClient",
     "StreamServer",
     "Sweep3D",
+    "Trace",
+    "TraceRecorder",
+    "TraceReplayer",
     "TreeComm",
     "UcpEndpoint",
     "VerbsEndpoint",

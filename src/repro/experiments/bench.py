@@ -474,6 +474,42 @@ def bench_active_flash(n_ops: int, variant: str = "flash", name: str = "active-f
     )
 
 
+def bench_kv_trace(exemplar: str, name: str = "kv-trace") -> BenchRecord:
+    """Trace replay of a committed exemplar: the record/replay path.
+
+    Replays one exemplar trace end to end (recorder-format decode,
+    per-client open-loop dispatch, batched pipelining, outcome
+    collection, per-key safety oracle) so the regression gate covers the
+    trace machinery.  The offered load is pinned by the trace file, so
+    the event count is exactly reproducible and events/sec comparable.
+    """
+    from repro.experiments.trace_replay import replay_trace
+    from repro.workloads import load_exemplar
+
+    trace = load_exemplar(exemplar)
+    t0 = time.perf_counter()
+    cell = replay_trace(trace, seed=BENCH_SEED)
+    wall = time.perf_counter() - t0
+    return BenchRecord(
+        name=name,
+        wall_s=wall,
+        events=cell.events_executed,
+        sim_ns=cell.p99_ns,
+        peak_rss_kb=_peak_rss_kb(),
+        metrics={
+            "service.kv.requests": cell.requests,
+            "workload.trace.rows_replayed": trace.n_ops,
+        },
+        extras={
+            "exemplar": exemplar,
+            "trace_id": trace.trace_id,
+            "outcome_digest": cell.outcome_digest,
+            "p99_ns": cell.p99_ns,
+            "invariants_ok": cell.invariants_ok,
+        },
+    )
+
+
 def bench_chaos_crash(seed: int) -> BenchRecord:
     """One crash-restart chaos cell: motif + faults + recovery + audit.
 
@@ -530,6 +566,7 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
         ("active-flash", lambda: bench_active_flash(260)),
         ("kv-incast-active", lambda: bench_active_flash(
             200, variant="incast", name="kv-incast-active")),
+        ("kv-trace", lambda: bench_kv_trace("flash-crowd")),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
     "smoke": [
@@ -548,6 +585,7 @@ SUITES: dict[str, list[tuple[str, Callable[[], BenchRecord]]]] = {
         ("active-flash", lambda: bench_active_flash(120)),
         ("kv-incast-active", lambda: bench_active_flash(
             100, variant="incast", name="kv-incast-active")),
+        ("kv-trace", lambda: bench_kv_trace("steady-mix")),
         ("chaos-crash", lambda: bench_chaos_crash(1)),
     ],
 }

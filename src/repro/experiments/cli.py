@@ -146,6 +146,12 @@ def main(argv: list[str] | None = None) -> int:
         from .active_flash import active_main
 
         return active_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Trace-driven workload record/replay: owns its subcommands
+        # (`rvma-experiments trace replay steady-mix --seed 2`).
+        from .trace_replay import trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="rvma-experiments",
         description="Regenerate the RVMA paper's tables and figures",

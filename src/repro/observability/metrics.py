@@ -178,6 +178,11 @@ CATALOG: dict[str, MetricSpec] = {
         _c("scenario.workload_ops", "ops", "Abstract workload weight (steps/messages) of executed scenarios."),
         _c("scenario.shrink_attempts", "candidates", "Shrink candidates evaluated while minimizing a failing scenario."),
         _c("scenario.shrink_accepted", "candidates", "Shrink candidates accepted (smaller, same failure fingerprint)."),
+        # --- workload.trace: trace-driven record/replay -------------------
+        _c("workload.trace.rows_recorded", "ops", "Offered ops captured by a TraceRecorder from live KvClients."),
+        _c("workload.trace.rows_replayed", "ops", "Trace rows dispatched to pool clients by the TraceReplayer."),
+        _c("workload.trace.rows_dropped", "ops", "Trace rows shed at the replayer's backlog cap instead of dispatched."),
+        _s("workload.trace.replay_lag_ns", "ns", "Dispatch lag per replayed row (worker pickup time minus trace timestamp)."),
         # --- faults: injected chaos -------------------------------------
         _c("faults.crashes", "crashes", "Crash faults injected by the fault injector."),
         _c("faults.restarts", "restarts", "Restart faults injected by the fault injector."),
@@ -239,6 +244,10 @@ def canonical_name(flat_name: str, kind: str = "counter") -> Optional[str]:
     if not suffix:
         return f"host.{flat_name}"
     if component == "faults":
+        return flat_name
+    if component == "workload":
+        # Trace recorder/replayer stats register flat under their
+        # canonical workload.trace.* names.
         return flat_name
     if component == "service":
         # Service metrics are registered flat under their canonical

@@ -221,6 +221,36 @@ def generate(seed: int, known_bad: bool = False) -> Scenario:
             workload["hot_key_fraction"] = 0.25 * (1 + rng.choice("gen.kv.hotfrac", 3))
             if rng.choice("gen.kv.word", 2) == 1:
                 workload["handler_word"] = True
+        if rng.choice("gen.kv.trace", 4) == 0:
+            # Trace-replay dimension (schema v4): a quarter of the kv
+            # budget replays a committed exemplar trace instead of the
+            # sampled scripts, sweeping the qos/active toggles over
+            # identical offered load.  New named streams drawn after
+            # every v3 stream, so pre-v4 seeds regenerate their other
+            # fields byte-identically.
+            from ..workloads.exemplars import EXEMPLAR_NAMES, EXEMPLARS
+
+            ref = EXEMPLAR_NAMES[rng.choice("gen.kv.tracepick", len(EXEMPLAR_NAMES))]
+            return Scenario(
+                seed=seed,
+                workload_kind="trace",
+                workload={
+                    "trace_ref": ref,
+                    "qos": rng.choice("gen.kv.traceqos", 2) == 1,
+                    "active": rng.choice("gen.kv.traceactive", 2) == 1,
+                },
+                topology=topology,
+                n_nodes=1 + EXEMPLARS[ref].clients,
+                routing=routing,
+                engine=engine,
+                backend="rvma",
+                reliability=True,
+                cluster_seed=cluster_seed,
+                fault_events=(),        # replay compares variants on a
+                drop_prob=0.0,          # clean fabric; chaos owns faults
+                audit=True,
+                compare_clean=False,
+            )
         return Scenario(
             seed=seed,
             workload_kind="kv",

@@ -640,6 +640,89 @@ def _run_differential(scenario: Scenario, trace: bool) -> ScenarioOutcome:
     )
 
 
+# ------------------------------------------------------------------ trace oracle
+
+
+def _run_trace(scenario: Scenario, trace: bool) -> ScenarioOutcome:
+    """Replay a committed exemplar trace (schema v4 workload kind).
+
+    The offered load is pinned by the trace file, so the oracles here
+    are pure outcome checks: per-key replay safety (linearizability over
+    the recorded op streams), op-stream liveness, transport/NIC
+    integrity counters, and the invariant auditor.
+    """
+    from ..experiments.trace_replay import replay_trace
+    from ..workloads import load_exemplar
+
+    workload = scenario.workload
+    try:
+        exemplar = load_exemplar(workload["trace_ref"])
+        cell = replay_trace(
+            exemplar,
+            seed=scenario.cluster_seed,
+            qos=bool(workload.get("qos", False)),
+            active=bool(workload.get("active", False)),
+            audit=scenario.audit,
+            observe=trace,
+            topology=scenario.topology,
+        )
+    except Exception as exc:
+        return ScenarioOutcome(
+            scenario=scenario,
+            failed=True,
+            fingerprint=FailureFingerprint.collect([f"exception:{type(exc).__name__}"]),
+            details={"error": str(exc)},
+        )
+
+    components = []
+    if cell.error is not None:
+        if "did not finish" in cell.error:
+            components.append("stall")
+        else:
+            components.append(f"exception:{cell.error.split(':', 1)[0]}")
+    if not cell.stats.all_resolved():
+        components.append("stall")
+    if cell.safety_failures:
+        components.append("kv:linearizability")
+    if cell.gave_up:
+        components.append("invariant:gave_up")
+    if cell.puts_lost - cell.puts_lost_quota:
+        components.append("invariant:puts_lost")
+    if not cell.audit_ok:
+        components.append("audit:violations")
+    fp = FailureFingerprint.collect(components)
+
+    report = None
+    if cell.cluster is not None:
+        _stamp_scenario_stats(cell.cluster, scenario, bool(fp))
+        report = RunReport.collect(
+            cell.cluster,
+            meta={
+                "harness": "scenario-fuzz",
+                "scenario_id": scenario.scenario_id,
+                "scenario_seed": scenario.seed,
+                "workload": "trace",
+                "trace_ref": workload["trace_ref"],
+                "trace_id": exemplar.trace_id,
+                "fingerprint": fp.describe(),
+            },
+        )
+    return ScenarioOutcome(
+        scenario=scenario,
+        failed=bool(fp),
+        fingerprint=fp,
+        details={
+            "error": cell.error,
+            "trace_ref": workload["trace_ref"],
+            "outcome_digest": cell.outcome_digest,
+            "safety_failures": cell.safety_failures[:5],
+            "gave_up": cell.gave_up,
+            "audit_violations": cell.audit_violations,
+        },
+        run_report=report,
+    )
+
+
 # -------------------------------------------------------------------- entry point
 
 
@@ -651,4 +734,6 @@ def run_scenario(scenario: Scenario, trace: bool = False) -> ScenarioOutcome:
             return _run_kv(scenario, trace)
         if scenario.workload_kind == "differential":
             return _run_differential(scenario, trace)
+        if scenario.workload_kind == "trace":
+            return _run_trace(scenario, trace)
         return _run_motif(scenario, trace)

@@ -33,12 +33,14 @@ from typing import Any, Optional
 #: (``qos`` / ``tenant_specs`` / ``client_tenants``).
 #: v3 added the optional active-handler dimension to kv workloads
 #: (``active`` / ``hot_key_fraction`` / ``handler_word``).
-SCHEMA_VERSION = 3
-SUPPORTED_SCHEMAS = (1, 2, 3)
+#: v4 added the ``trace`` workload kind: replay a committed exemplar
+#: trace (``trace_ref``) through the KV harness with qos/active toggles.
+SCHEMA_VERSION = 4
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 #: Workload kinds the runner knows how to drive.
 MOTIF_KINDS = ("allreduce", "incast", "halo3d")
-WORKLOAD_KINDS = MOTIF_KINDS + ("kv", "differential")
+WORKLOAD_KINDS = MOTIF_KINDS + ("kv", "differential", "trace")
 
 #: Protocol backends the differential oracle can compare.
 BACKENDS = ("rvma", "verbs", "ucx")
@@ -238,6 +240,8 @@ class Scenario:
                         raise ScenarioError(f"malformed kv step {step!r}")
             self._validate_kv_tenancy(scripts)
             self._validate_kv_active()
+        if self.workload_kind == "trace":
+            self._validate_trace()
         for ev in self.fault_events:
             if ev.kind not in ("link_flap", "switch_failure", "partition", "crash_restart"):
                 raise ScenarioError(f"unknown fault kind {ev.kind!r}")
@@ -308,6 +312,35 @@ class Scenario:
             if not 0.0 < float(fraction) <= 1.0:
                 raise ScenarioError("hot_key_fraction must be in (0, 1]")
 
+    def _validate_trace(self) -> None:
+        """The v4 trace-replay workload: a committed exemplar + toggles.
+
+        ``trace_ref`` names an entry in the exemplar registry
+        (:data:`repro.workloads.EXEMPLARS`) — replay is only meaningful
+        against a pinned trace identity, so arbitrary paths are not a
+        scenario dimension.  ``qos`` / ``active`` arm the server-side
+        feature toggles the replay A/B harness compares.
+        """
+        from ..workloads.exemplars import EXEMPLARS
+
+        if self.schema < 4:
+            raise ScenarioError("trace scenarios need scenario schema >= 4")
+        ref = self.workload.get("trace_ref")
+        info = EXEMPLARS.get(ref) if isinstance(ref, str) else None
+        if info is None:
+            raise ScenarioError(
+                f"trace_ref {ref!r} is not a committed exemplar "
+                f"(have {tuple(sorted(EXEMPLARS))})"
+            )
+        for key in ("qos", "active"):
+            if not isinstance(self.workload.get(key, False), bool):
+                raise ScenarioError(f"trace workload {key!r} must be a boolean")
+        if self.n_nodes < 1 + info.clients:
+            raise ScenarioError(
+                f"trace scenarios need a node per trace client plus the "
+                f"server ({1 + info.clients} for {ref!r}, got {self.n_nodes})"
+            )
+
     # ------------------------------------------------------------- shrinking aids
 
     @property
@@ -325,6 +358,13 @@ class Scenario:
             return int(w["iterations"]) * max(1, int(w["msg_bytes"]) // 256)
         if self.workload_kind == "kv":
             return sum(len(s) for s in w["scripts"])
+        if self.workload_kind == "trace":
+            from ..workloads.exemplars import EXEMPLARS
+
+            rows = EXEMPLARS[w["trace_ref"]].rows
+            # Toggles add weight so the shrinker can strictly shrink by
+            # disarming them before giving up on the (fixed-size) trace.
+            return rows + (1 if w.get("qos") else 0) + (1 if w.get("active") else 0)
         return sum(int(n) for _s, _d, n in w["channels"]) * max(1, len(self.compare) - 1)
 
     def size(self) -> int:

@@ -110,6 +110,13 @@ def _workload_candidates(scenario: Scenario) -> Iterator[tuple]:
             trimmed = [list(s) for s in scripts]
             trimmed[longest] = trimmed[longest][: max(1, len(trimmed[longest]) // 2)]
             yield {**w, "scripts": trimmed}, f"trim client {longest} script"
+    elif kind == "trace":
+        # The trace itself is pinned (fixed rows); the only strictly
+        # smaller variants disarm the feature toggles one at a time.
+        if w.get("active"):
+            yield {**w, "active": False}, "disarm active"
+        if w.get("qos"):
+            yield {**w, "qos": False}, "disarm qos"
     else:  # differential
         channels = [list(c) for c in w["channels"]]
         if len(channels) > 1:
@@ -161,6 +168,10 @@ def _candidates(scenario: Scenario) -> Iterator[tuple]:
         floor = 1 + max(
             max(int(s), int(d)) for s, d, _n in scenario.workload["channels"]
         )
+    elif scenario.workload_kind == "trace":
+        # Node count is already the floor (server + one node per trace
+        # client), so the ladder never applies.
+        floor = scenario.n_nodes
     for n in _NODE_LADDER:
         if floor <= n < scenario.n_nodes:
             yield (

@@ -475,6 +475,9 @@ class KvClient:
         #: flight, so a timeout can retransmit the identical frame.
         self._frames: dict[int, tuple[int, bytes]] = {}
         self._next_req = 0
+        #: Optional TraceRecorder (repro.workloads): when set, every op
+        #: this client offers is noted at its batch anchor time.
+        self.recorder = None
         stats = api.sim.stats
         self._latency = stats.histogram(
             "service.kv.request_latency_ns", lo=0.0, hi=LATENCY_HI_NS, nbins=LATENCY_NBINS
@@ -541,6 +544,13 @@ class KvClient:
         propagation, not per-attempt reset.
         """
         start = self.api.sim.now if t0 is None else t0
+        if self.recorder is not None:
+            # Record the offered op stream before any outcome is known —
+            # deadline-burned backlog ops were still offered load.
+            for op, key, value in ops:
+                self.recorder.note(
+                    start, self.tenant_id, self.client_id, op, key, len(value)
+                )
         robust = self.robustness
         deadline = None
         if robust is not None:
@@ -737,6 +747,10 @@ class KvClient:
         shard's contribution is bounded by the server's ``scan_limit``.
         """
         start = self.api.sim.now
+        if self.recorder is not None:
+            self.recorder.note(
+                start, self.tenant_id, self.client_id, OP_SCAN, prefix, 0
+            )
         req_ids: list[int] = []
         for shard in range(self.map.n_shards):
             self._next_req += 1

@@ -143,6 +143,11 @@ class LoadGenerator:
     def __init__(self, sim, clients: list[KvClient], config: Optional[WorkloadConfig] = None) -> None:
         if not clients:
             raise ValueError("load generator needs at least one client")
+        if config is not None and config.max_backlog < 1:
+            # max_backlog < 1 silently drops *every* open-loop arrival
+            # (the cap check runs before the append) — reject it rather
+            # than run a workload that offers nothing.
+            raise ValueError(f"max_backlog must be >= 1, got {config.max_backlog}")
         self.sim = sim
         self.clients = clients
         self.config = config or WorkloadConfig()
@@ -229,6 +234,11 @@ class LoadGenerator:
             if len(backlog) >= cfg.max_backlog:
                 # Offered load has outrun the pool for max_backlog ops:
                 # shed at the generator rather than queueing unboundedly.
+                # A dropped arrival consumes only the .arrival RNG draw
+                # (no .op/.key draws), so the synthesized op stream
+                # depends on backlog depth and hence on service timing —
+                # the reason cross-variant comparisons replay a recorded
+                # trace (repro.workloads) instead of re-synthesizing.
                 self.stats.ops_dropped += 1
                 self._dropped.add()
                 continue

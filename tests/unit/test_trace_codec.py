@@ -1,0 +1,178 @@
+"""Unit tests for the trace codec: round-trip identity, strict decode.
+
+The trace file is an interchange format — CI jobs, the bench cell, the
+fuzzer's ``trace`` workload kind and the committed exemplars all decode
+it — so the codec must be byte-stable (same rows => same file => same
+trace_id) and *strict* (any malformed document is a TraceError, never a
+silently-coerced trace).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workloads import (
+    EXEMPLAR_NAMES,
+    EXEMPLARS,
+    TRACE_KIND,
+    TRACE_SCHEMA_VERSION,
+    Trace,
+    TraceError,
+    TraceRow,
+    load_exemplar,
+)
+
+
+def _rows():
+    return [
+        TraceRow(timestamp_ns=0, tenant=0, client=7, op="put", key="k0", value_size=16),
+        TraceRow(timestamp_ns=100.5, tenant=0, client=7, op="get", key="k0", value_size=0),
+        TraceRow(timestamp_ns=100.5, tenant=1, client=9, op="scan", key="k", value_size=0),
+        TraceRow(timestamp_ns=230, tenant=1, client=9, op="delete", key="k0", value_size=0),
+    ]
+
+
+def _trace():
+    return Trace.from_rows(_rows(), provenance={"seed": 3, "source": "unit"})
+
+
+# ------------------------------------------------------------------ round-trip
+
+
+def test_roundtrip_byte_identity():
+    trace = _trace()
+    text = trace.to_jsonl()
+    back = Trace.decode(text)
+    assert back.to_jsonl() == text
+    assert back.rows == trace.rows
+    assert back.trace_id == trace.trace_id
+
+
+def test_trace_id_stable_under_reencode():
+    trace = _trace()
+    ids = {Trace.decode(trace.to_jsonl()).trace_id for _ in range(3)}
+    assert ids == {trace.trace_id}
+
+
+def test_trace_id_ignores_provenance():
+    # Identity is the row stream: re-recording the same load with
+    # different provenance (seed notes, transform history) must not
+    # mint a new trace_id.
+    a = Trace.from_rows(_rows(), provenance={"seed": 1})
+    b = Trace.from_rows(_rows(), provenance={"seed": 999, "note": "x"})
+    assert a.trace_id == b.trace_id
+
+
+def test_trace_id_tracks_rows():
+    base = _trace()
+    bumped = Trace.from_rows(
+        _rows()[:-1], provenance=dict(base.provenance)
+    )
+    assert bumped.trace_id != base.trace_id
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = _trace()
+    path = tmp_path / "t.jsonl"
+    trace.save(path)
+    back = Trace.load(str(path))
+    assert back.to_jsonl() == trace.to_jsonl()
+
+
+# ------------------------------------------------------------------ strictness
+
+
+def test_rejects_bad_op():
+    with pytest.raises(TraceError):
+        TraceRow(timestamp_ns=0, tenant=0, client=1, op="swap", key="k", value_size=0).validate()
+
+
+def test_rejects_negative_timestamp():
+    with pytest.raises(TraceError):
+        TraceRow(timestamp_ns=-1, tenant=0, client=1, op="get", key="k", value_size=0).validate()
+
+
+def test_rejects_value_size_on_non_put():
+    with pytest.raises(TraceError):
+        TraceRow(timestamp_ns=0, tenant=0, client=1, op="get", key="k", value_size=4).validate()
+
+
+def test_rejects_out_of_order_rows():
+    rows = [
+        TraceRow(timestamp_ns=50, tenant=0, client=1, op="get", key="a", value_size=0),
+        TraceRow(timestamp_ns=10, tenant=0, client=1, op="get", key="b", value_size=0),
+    ]
+    with pytest.raises(TraceError):
+        Trace.from_rows(rows, provenance={})
+
+
+def test_rejects_inconsistent_client_tenant():
+    rows = [
+        TraceRow(timestamp_ns=0, tenant=0, client=1, op="get", key="a", value_size=0),
+        TraceRow(timestamp_ns=10, tenant=2, client=1, op="get", key="a", value_size=0),
+    ]
+    with pytest.raises(TraceError):
+        Trace.from_rows(rows, provenance={})
+
+
+def test_rejects_truncated_file():
+    text = _trace().to_jsonl()
+    lines = text.splitlines()
+    truncated = "\n".join(lines[:-1]) + "\n"
+    with pytest.raises(TraceError):
+        Trace.decode(truncated)
+
+
+def test_rejects_wrong_schema_version():
+    text = _trace().to_jsonl()
+    header, rest = text.split("\n", 1)
+    doc = json.loads(header)
+    assert doc["schema"] == TRACE_SCHEMA_VERSION
+    doc["schema"] = TRACE_SCHEMA_VERSION + 1
+    with pytest.raises(TraceError):
+        Trace.decode(json.dumps(doc, sort_keys=True) + "\n" + rest)
+
+
+def test_rejects_wrong_kind():
+    text = _trace().to_jsonl()
+    header, rest = text.split("\n", 1)
+    doc = json.loads(header)
+    assert doc["kind"] == TRACE_KIND
+    doc["kind"] = "something-else"
+    with pytest.raises(TraceError):
+        Trace.decode(json.dumps(doc, sort_keys=True) + "\n" + rest)
+
+
+def test_rejects_tampered_trace_id():
+    text = _trace().to_jsonl()
+    header, rest = text.split("\n", 1)
+    doc = json.loads(header)
+    doc["trace_id"] = "0" * len(doc["trace_id"])
+    with pytest.raises(TraceError):
+        Trace.decode(json.dumps(doc, sort_keys=True) + "\n" + rest)
+
+
+def test_rejects_malformed_row_shape():
+    text = _trace().to_jsonl()
+    lines = text.splitlines()
+    lines[1] = json.dumps([0, 0, 1, "get"])  # missing fields
+    with pytest.raises(TraceError):
+        Trace.decode("\n".join(lines) + "\n")
+
+
+# ------------------------------------------------------------------ exemplars
+
+
+def test_committed_exemplars_match_registry():
+    # The committed corpus/traces files must match their pinned
+    # identities exactly — a regenerated or hand-edited trace fails
+    # here instead of silently changing every downstream comparison.
+    for name in EXEMPLAR_NAMES:
+        info = EXEMPLARS[name]
+        trace = load_exemplar(name)
+        assert trace.trace_id == info.trace_id
+        assert trace.n_ops == info.rows
+        assert len(trace.clients()) == info.clients
+        assert trace.tenants() == info.tenants
